@@ -1,0 +1,53 @@
+// Ablation: bandwidth heterogeneity (§3.3's measurement discussion). With
+// 1 MB blocks and node bandwidths log-uniform in [3, 186] Mbit/s, the
+// transmission term dominates low-bandwidth links. Perigee's timestamps
+// automatically fold bandwidth in — no explicit bandwidth probing — so it
+// should keep (and even grow) its advantage, while geography-based selection
+// remains bandwidth-blind.
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace perigee;
+
+  util::Flags flags;
+  bench::add_common_flags(flags, 600, 40, 2);
+  flags.add_double("block_kb", 1000.0, "block size in KB");
+  if (!flags.parse(argc, argv)) return 1;
+  const int seeds = static_cast<int>(flags.get_int("seeds"));
+
+  for (const bool heterogeneous : {false, true}) {
+    core::ExperimentConfig config = bench::config_from_flags(flags);
+    config.net.heterogeneous_bandwidth = heterogeneous;
+    config.net.block_size_kb = heterogeneous ? flags.get_double("block_kb")
+                                             : 0.0;
+
+    util::print_banner(
+        std::cout, heterogeneous
+                       ? "Ablation - 1MB blocks, bandwidth 3-186 Mbit/s"
+                       : "Ablation - baseline (small blocks, uniform bw)");
+    util::Table table({"algorithm", "median lambda90", "vs random"});
+    metrics::Curve random;
+    for (const auto algorithm :
+         {core::Algorithm::Random, core::Algorithm::Geographic,
+          core::Algorithm::PerigeeSubset}) {
+      config.algorithm = algorithm;
+      const auto result = core::run_multi_seed(config, seeds);
+      if (algorithm == core::Algorithm::Random) random = result.curve;
+      const std::size_t mid = result.curve.mean.size() / 2;
+      table.add_row(
+          {std::string(core::algorithm_name(algorithm)),
+           util::fmt(result.curve.mean[mid]),
+           util::fmt(
+               100.0 * metrics::improvement_at(result.curve, random, mid), 1) +
+               "%"});
+      std::cerr << "done: " << core::algorithm_name(algorithm) << "\n";
+    }
+    table.print(std::cout);
+  }
+  std::cout << "\nExpected shape: with 1MB blocks the transmission term "
+               "(worst-of-pair bandwidth) dominates every hop, compressing "
+               "all gains — but Perigee, whose timestamps fold bandwidth in "
+               "automatically, retains roughly twice the advantage of the "
+               "bandwidth-blind geographic policy.\n";
+  return 0;
+}

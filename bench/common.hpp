@@ -1,0 +1,96 @@
+// Shared plumbing for the figure-reproduction benches: flag handling,
+// multi-seed curve collection, and paper-style table printing (sorted λ
+// curves sampled at the paper's error-bar node indices).
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "metrics/curves.hpp"
+#include "util/flags.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace perigee::bench {
+
+struct NamedCurve {
+  std::string name;
+  metrics::Curve curve;
+};
+
+// Registers the flags shared by every figure bench.
+inline void add_common_flags(util::Flags& flags, int default_nodes,
+                             int default_rounds, int default_seeds) {
+  flags.add_int("nodes", default_nodes, "network size");
+  flags.add_int("rounds", default_rounds,
+                "learning rounds (x100 blocks) for adaptive algorithms");
+  flags.add_int("seeds", default_seeds, "independent repetitions");
+  flags.add_int("seed", 1, "base seed");
+  flags.add_double("coverage", 0.90, "hash-power coverage for lambda");
+}
+
+inline core::ExperimentConfig config_from_flags(const util::Flags& flags) {
+  core::ExperimentConfig config;
+  config.net.n = static_cast<std::size_t>(flags.get_int("nodes"));
+  config.rounds = static_cast<int>(flags.get_int("rounds"));
+  config.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  config.coverage = flags.get_double("coverage");
+  return config;
+}
+
+// Ideal curve via run_ideal across seeds.
+inline metrics::Curve ideal_curve(core::ExperimentConfig config,
+                                  int num_seeds) {
+  std::vector<std::vector<double>> runs;
+  const std::uint64_t base = config.seed;
+  for (int s = 0; s < num_seeds; ++s) {
+    config.seed = base + static_cast<std::uint64_t>(s);
+    runs.push_back(core::run_ideal(config));
+  }
+  return metrics::aggregate_sorted_curves(std::move(runs));
+}
+
+// Prints the sorted-λ curves sampled at the paper's error-bar indices
+// (nodes 100/300/500/700/900 scaled to n), one row per index, one column
+// per algorithm, "mean ±stddev" cells — the textual analogue of Figure 3.
+inline void print_curves(std::ostream& os, const std::string& title,
+                         const std::vector<NamedCurve>& curves) {
+  util::print_banner(os, title);
+  const std::size_t n = curves.front().curve.mean.size();
+  std::vector<std::string> header = {"node"};
+  for (const auto& c : curves) header.push_back(c.name);
+  util::Table table(header);
+  for (std::size_t idx : metrics::errorbar_indices(n)) {
+    std::vector<std::string> row = {std::to_string(idx)};
+    for (const auto& c : curves) {
+      row.push_back(util::fmt(c.curve.mean[idx]) + " ±" +
+                    util::fmt(c.curve.stddev[idx]));
+    }
+    table.add_row(std::move(row));
+  }
+  std::vector<std::string> mean_row = {"mean"};
+  for (const auto& c : curves) {
+    mean_row.push_back(util::fmt(metrics::curve_mean(c.curve)));
+  }
+  table.add_row(std::move(mean_row));
+  table.print(os);
+}
+
+// Improvement of each curve vs the first (baseline) at the median node.
+inline void print_improvements(std::ostream& os,
+                               const std::vector<NamedCurve>& curves) {
+  const auto& base = curves.front().curve;
+  const std::size_t mid = base.mean.size() / 2;
+  os << "improvement vs " << curves.front().name << " at node " << mid
+     << ":\n";
+  for (std::size_t i = 1; i < curves.size(); ++i) {
+    os << "  " << curves[i].name << ": "
+       << util::fmt(100.0 * metrics::improvement_at(curves[i].curve, base, mid),
+                    1)
+       << "%\n";
+  }
+}
+
+}  // namespace perigee::bench

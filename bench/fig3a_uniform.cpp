@@ -1,0 +1,46 @@
+// Figure 3(a): minimum delay to reach 90% (and 50%) of the network's hash
+// power under uniform hash power, for random, geographic, Kademlia, the
+// three Perigee variants and the fully-connected ideal. Sorted per-node
+// curves averaged over independent seeds, sampled at the paper's error-bar
+// node positions.
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace perigee;
+
+  util::Flags flags;
+  bench::add_common_flags(flags, 1000, 50, 2);
+  if (!flags.parse(argc, argv)) return 1;
+  const int seeds = static_cast<int>(flags.get_int("seeds"));
+
+  core::ExperimentConfig config = bench::config_from_flags(flags);
+  config.hash_model = mining::HashPowerModel::Uniform;
+
+  const std::pair<core::Algorithm, const char*> algorithms[] = {
+      {core::Algorithm::Random, "random"},
+      {core::Algorithm::Geographic, "geographic"},
+      {core::Algorithm::Kademlia, "kademlia"},
+      {core::Algorithm::PerigeeVanilla, "perigee-vanilla"},
+      {core::Algorithm::PerigeeUcb, "perigee-ucb"},
+      {core::Algorithm::PerigeeSubset, "perigee-subset"},
+  };
+
+  std::vector<bench::NamedCurve> curves90, curves50;
+  for (const auto& [algorithm, name] : algorithms) {
+    config.algorithm = algorithm;
+    auto result = core::run_multi_seed(config, seeds);
+    curves90.push_back({name, std::move(result.curve)});
+    curves50.push_back({name, std::move(result.curve50)});
+    std::cerr << "done: " << name << "\n";
+  }
+  curves90.push_back({"ideal", bench::ideal_curve(config, seeds)});
+
+  bench::print_curves(std::cout,
+                      "Figure 3(a) - uniform hash power, 90% coverage (ms)",
+                      curves90);
+  bench::print_improvements(std::cout, curves90);
+  bench::print_curves(std::cout,
+                      "Figure 3(a) - uniform hash power, 50% coverage (ms)",
+                      curves50);
+  return 0;
+}

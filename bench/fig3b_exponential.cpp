@@ -1,0 +1,39 @@
+// Figure 3(b): same comparison as Figure 3(a) but with per-node hash power
+// drawn from an exponential distribution (mean 1), normalized to sum to 1.
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace perigee;
+
+  util::Flags flags;
+  bench::add_common_flags(flags, 600, 40, 2);
+  if (!flags.parse(argc, argv)) return 1;
+  const int seeds = static_cast<int>(flags.get_int("seeds"));
+
+  core::ExperimentConfig config = bench::config_from_flags(flags);
+  config.hash_model = mining::HashPowerModel::Exponential;
+
+  const std::pair<core::Algorithm, const char*> algorithms[] = {
+      {core::Algorithm::Random, "random"},
+      {core::Algorithm::Geographic, "geographic"},
+      {core::Algorithm::Kademlia, "kademlia"},
+      {core::Algorithm::PerigeeVanilla, "perigee-vanilla"},
+      {core::Algorithm::PerigeeUcb, "perigee-ucb"},
+      {core::Algorithm::PerigeeSubset, "perigee-subset"},
+  };
+
+  std::vector<bench::NamedCurve> curves90;
+  for (const auto& [algorithm, name] : algorithms) {
+    config.algorithm = algorithm;
+    auto result = core::run_multi_seed(config, seeds);
+    curves90.push_back({name, std::move(result.curve)});
+    std::cerr << "done: " << name << "\n";
+  }
+  curves90.push_back({"ideal", bench::ideal_curve(config, seeds)});
+
+  bench::print_curves(
+      std::cout, "Figure 3(b) - exponential hash power, 90% coverage (ms)",
+      curves90);
+  bench::print_improvements(std::cout, curves90);
+  return 0;
+}

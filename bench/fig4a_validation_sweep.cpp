@@ -1,0 +1,45 @@
+// Figure 4(a): block-validation (node) delay scaled to 0.1x, 0.5x, 1x, 5x
+// and 10x its default. At small node delay Perigee's learned topology is
+// dramatically better than random; as validation dominates, the hop count
+// (network diameter) rules and Perigee approaches the random protocol.
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace perigee;
+
+  util::Flags flags;
+  bench::add_common_flags(flags, 600, 40, 1);
+  if (!flags.parse(argc, argv)) return 1;
+  const int seeds = static_cast<int>(flags.get_int("seeds"));
+
+  util::print_banner(std::cout,
+                     "Figure 4(a) - validation-delay sweep (median lambda, ms)");
+  util::Table table({"scale", "random", "perigee-subset", "ideal",
+                     "subset gain"});
+  for (double scale : {0.1, 0.5, 1.0, 5.0, 10.0}) {
+    core::ExperimentConfig config = bench::config_from_flags(flags);
+    config.net.validation_scale = scale;
+
+    config.algorithm = core::Algorithm::Random;
+    const auto random = core::run_multi_seed(config, seeds);
+    config.algorithm = core::Algorithm::PerigeeSubset;
+    const auto subset = core::run_multi_seed(config, seeds);
+    const auto ideal = bench::ideal_curve(config, seeds);
+
+    const std::size_t mid = random.curve.mean.size() / 2;
+    const double gain =
+        metrics::improvement_at(subset.curve, random.curve, mid);
+    table.add_row({util::fmt(scale, 1) + "x",
+                   util::fmt(random.curve.mean[mid]),
+                   util::fmt(subset.curve.mean[mid]),
+                   util::fmt(ideal.mean[mid]),
+                   util::fmt(100.0 * gain, 1) + "%"});
+    std::cerr << "done: scale " << scale << "\n";
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shape (paper §5.3): the gain column shrinks as the\n"
+               "validation scale grows - with large node delays the 90th\n"
+               "percentile delay is dictated by hop count, which the random\n"
+               "topology already minimizes up to constants.\n";
+  return 0;
+}

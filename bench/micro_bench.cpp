@@ -1,0 +1,129 @@
+// Engine micro-benchmarks (google-benchmark): per-block broadcast cost,
+// message-level gossip cost, scoring costs, and the sampling primitives.
+// These bound the wall-clock of the figure benches: one Figure-3 curve is
+// rounds x blocks broadcasts plus n subset-scorings per round.
+#include <benchmark/benchmark.h>
+
+#include "core/perigee.hpp"
+#include "mining/sampler.hpp"
+#include "sim/gossip.hpp"
+#include "sim/rounds.hpp"
+#include "topo/builders.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace perigee;
+
+struct Fixture {
+  explicit Fixture(std::size_t n) : topology(n) {
+    net::NetworkOptions options;
+    options.n = n;
+    options.seed = 7;
+    network.emplace(net::Network::build(options));
+    util::Rng rng(7);
+    topo::build_random(topology, rng);
+  }
+  std::optional<net::Network> network;
+  net::Topology topology;
+};
+
+void BM_Broadcast(benchmark::State& state) {
+  Fixture f(static_cast<std::size_t>(state.range(0)));
+  net::NodeId miner = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sim::simulate_broadcast(f.topology, *f.network, miner));
+    miner = (miner + 1) % static_cast<net::NodeId>(f.topology.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Broadcast)->Arg(200)->Arg(1000)->Arg(4000);
+
+void BM_GossipInv(benchmark::State& state) {
+  Fixture f(static_cast<std::size_t>(state.range(0)));
+  net::NodeId miner = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::simulate_gossip(f.topology, *f.network,
+                                                  miner));
+    miner = (miner + 1) % static_cast<net::NodeId>(f.topology.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GossipInv)->Arg(200)->Arg(1000);
+
+void BM_RoundWithSubsetScoring(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Fixture f(n);
+  sim::RoundRunner runner(*f.network, f.topology,
+                          core::make_selectors(n, core::Algorithm::PerigeeSubset),
+                          100, 7);
+  for (auto _ : state) {
+    runner.run_round();
+  }
+  state.SetItemsProcessed(state.iterations() * 100);  // blocks
+}
+BENCHMARK(BM_RoundWithSubsetScoring)->Arg(200)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+void BM_RoundWithUcbScoring(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Fixture f(n);
+  sim::RoundRunner runner(*f.network, f.topology,
+                          core::make_selectors(n, core::Algorithm::PerigeeUcb),
+                          1, 7);
+  for (auto _ : state) {
+    runner.run_round();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RoundWithUcbScoring)->Arg(200)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+void BM_Percentile(benchmark::State& state) {
+  util::Rng rng(3);
+  std::vector<double> sample;
+  for (int i = 0; i < state.range(0); ++i) sample.push_back(rng.uniform());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::percentile(sample, 0.9));
+  }
+}
+BENCHMARK(BM_Percentile)->Arg(100)->Arg(1000);
+
+void BM_AliasSampler(benchmark::State& state) {
+  util::Rng rng(4);
+  std::vector<double> weights;
+  for (int i = 0; i < 1000; ++i) weights.push_back(rng.exponential(1.0));
+  mining::AliasSampler sampler(weights);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.sample(rng));
+  }
+}
+BENCHMARK(BM_AliasSampler);
+
+void BM_TopologyRewire(benchmark::State& state) {
+  Fixture f(1000);
+  util::Rng rng(5);
+  for (auto _ : state) {
+    const auto v = static_cast<net::NodeId>(rng.uniform_index(1000));
+    const auto out = f.topology.out(v);
+    if (!out.empty()) {
+      f.topology.disconnect(v, out.front());
+      topo::dial_random_peers(f.topology, v, 1, rng);
+    }
+  }
+}
+BENCHMARK(BM_TopologyRewire);
+
+void BM_EdgeDelay(benchmark::State& state) {
+  Fixture f(1000);
+  util::Rng rng(6);
+  for (auto _ : state) {
+    const auto u = static_cast<net::NodeId>(rng.uniform_index(1000));
+    const auto v = static_cast<net::NodeId>(rng.uniform_index(1000));
+    benchmark::DoNotOptimize(f.network->edge_delay_ms(u, v));
+  }
+}
+BENCHMARK(BM_EdgeDelay);
+
+}  // namespace
+
+BENCHMARK_MAIN();

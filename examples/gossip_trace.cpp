@@ -1,0 +1,80 @@
+// Protocol-realism walkthrough: trace one block through the message-level
+// INV/GETDATA/BLOCK engine and compare against the fast analytic engine.
+// Useful for understanding what δ(u,v) abstracts away.
+//
+//   ./examples/gossip_trace [--nodes N]
+#include <algorithm>
+#include <iostream>
+
+#include "sim/broadcast.hpp"
+#include "sim/gossip.hpp"
+#include "topo/builders.hpp"
+#include "util/flags.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace perigee;
+
+  util::Flags flags;
+  flags.add_int("nodes", 200, "network size");
+  flags.add_int("miner", 0, "block origin");
+  flags.add_int("seed", 1, "seed");
+  if (!flags.parse(argc, argv)) return 1;
+
+  net::NetworkOptions options;
+  options.n = static_cast<std::size_t>(flags.get_int("nodes"));
+  options.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  options.handshake_factor = 1.0;  // the gossip engine models it explicitly
+  const auto network = net::Network::build(options);
+
+  net::Topology topology(network.size());
+  util::Rng rng(options.seed);
+  topo::build_random(topology, rng);
+  const auto miner = static_cast<net::NodeId>(flags.get_int("miner"));
+
+  sim::GossipConfig inv;
+  inv.mode = sim::GossipConfig::Mode::InvGetdata;
+  inv.record_edge_times = true;
+  const auto gossip = sim::simulate_gossip(topology, network, miner, inv);
+
+  sim::GossipConfig push;
+  push.mode = sim::GossipConfig::Mode::Push;
+  const auto pushed = sim::simulate_gossip(topology, network, miner, push);
+
+  const auto fast = sim::simulate_broadcast(topology, network, miner);
+
+  const auto g = util::summarize(gossip.arrival);
+  const auto p = util::summarize(pushed.arrival);
+  const auto f = util::summarize(fast.arrival);
+
+  util::Table table({"engine", "p50 arrival", "p90 arrival", "max",
+                     "messages"});
+  table.add_row({"gossip INV/GETDATA/BLOCK", util::fmt(g.p50),
+                 util::fmt(g.p90), util::fmt(g.max),
+                 std::to_string(gossip.messages_processed)});
+  table.add_row({"gossip push", util::fmt(p.p50), util::fmt(p.p90),
+                 util::fmt(p.max), std::to_string(pushed.messages_processed)});
+  table.add_row({"fast engine (push model)", util::fmt(f.p50),
+                 util::fmt(f.p90), util::fmt(f.max), "-"});
+  table.print(std::cout);
+
+  std::cout << "\nPush-mode gossip and the fast engine agree exactly "
+            << "(same model, two implementations); the full handshake costs "
+            << util::fmt(g.p50 / p.p50, 2)
+            << "x the push latency at the median - the overhead the fast "
+               "engine's handshake_factor folds into delta(u,v).\n";
+
+  // Per-node detail for a few nodes: who announced first, when the block
+  // landed.
+  std::cout << "\nfirst INV vs block-in-hand for five sample nodes:\n";
+  util::Table detail({"node", "first INV", "block arrival", "gap"});
+  for (net::NodeId v : {net::NodeId{3}, net::NodeId{50}, net::NodeId{100},
+                        net::NodeId{150}, net::NodeId{199}}) {
+    detail.add_row({std::to_string(v), util::fmt(gossip.first_announce[v]),
+                    util::fmt(gossip.arrival[v]),
+                    util::fmt(gossip.arrival[v] - gossip.first_announce[v])});
+  }
+  detail.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,220 @@
+#include "core/experiment.hpp"
+
+#include <algorithm>
+
+#include "metrics/edge_hist.hpp"
+#include "metrics/eval.hpp"
+#include "sim/rounds.hpp"
+#include "topo/builders.hpp"
+#include "topo/coordinates.hpp"
+#include "util/assert.hpp"
+#include "util/stats.hpp"
+
+namespace perigee::core {
+namespace {
+
+Checkpoint make_checkpoint(std::size_t blocks_mined,
+                           const net::Topology& topology,
+                           const net::Network& network, double coverage) {
+  Checkpoint cp;
+  cp.blocks_mined = blocks_mined;
+  const auto lambda =
+      metrics::eval_all_sources(topology, network, coverage);
+  cp.mean_lambda = util::mean(lambda);
+  cp.median_lambda = util::percentile(lambda, 0.5);
+  return cp;
+}
+
+}  // namespace
+
+Scenario build_scenario(const ExperimentConfig& config) {
+  net::NetworkOptions net_options = config.net;
+  net_options.seed = config.seed;
+  net::Network network = net::Network::build(net_options);
+
+  util::Rng master(config.seed);
+  util::Rng hash_rng = master.split(0x4A5);
+  util::Rng relay_rng = master.split(0x9E1);
+
+  std::vector<net::NodeId> pool_members =
+      mining::assign_hash_power(network, config.hash_model, hash_rng,
+                                config.pools);
+
+  if (config.pool_latency_scale != 1.0 && !pool_members.empty()) {
+    PERIGEE_ASSERT(config.net.latency == net::NetworkOptions::LatencyKind::Geo);
+    std::vector<bool> is_pool(network.size(), false);
+    for (net::NodeId v : pool_members) is_pool[v] = true;
+    network.set_latency_model(std::make_unique<net::PairClassScaledModel>(
+        network.make_geo_model(),
+        [is_pool = std::move(is_pool)](net::NodeId v) { return is_pool[v]; },
+        config.pool_latency_scale));
+  }
+
+  net::Topology topology(network.size(), config.limits);
+  std::vector<net::NodeId> relay_members;
+  if (config.relay) {
+    relay_members =
+        topo::install_relay_tree(topology, network, config.relay_config,
+                                 relay_rng)
+            .members;
+  }
+  return Scenario{std::move(network), std::move(topology),
+                  std::move(pool_members), std::move(relay_members)};
+}
+
+void build_initial_topology(const ExperimentConfig& config,
+                            Scenario& scenario) {
+  util::Rng topo_rng = util::Rng(config.seed).split(0x7090);
+  switch (config.algorithm) {
+    case Algorithm::Geographic:
+      topo::build_geo_clusters(scenario.topology, scenario.network, topo_rng);
+      break;
+    case Algorithm::Kademlia:
+      topo::build_kademlia(scenario.topology, topo_rng);
+      break;
+    case Algorithm::KNearestOracle:
+      topo::build_k_nearest(scenario.topology, scenario.network, topo_rng);
+      break;
+    case Algorithm::CoordinateGreedy:
+      topo::build_coordinate_greedy(scenario.topology, scenario.network,
+                                    topo_rng);
+      break;
+    case Algorithm::Ideal:
+      PERIGEE_ASSERT_MSG(false, "use run_ideal for the ideal bound");
+      break;
+    case Algorithm::Random:
+    case Algorithm::PerigeeVanilla:
+    case Algorithm::PerigeeUcb:
+    case Algorithm::PerigeeSubset:
+      // Adaptive variants start from an arbitrary random topology (§4.1).
+      topo::build_random(scenario.topology, topo_rng);
+      break;
+  }
+}
+
+ExperimentResult run_experiment(const ExperimentConfig& config) {
+  Scenario scenario = build_scenario(config);
+  build_initial_topology(config, scenario);
+
+  ExperimentResult result;
+  result.algorithm = std::string(algorithm_name(config.algorithm));
+
+  if (is_adaptive(config.algorithm)) {
+    // UCB is a |B|=1 method: same total block budget, shorter rounds.
+    const bool ucb = config.algorithm == Algorithm::PerigeeUcb;
+    const int total_rounds =
+        ucb ? config.rounds * config.blocks_per_round : config.rounds;
+    const int blocks_per_round = ucb ? 1 : config.blocks_per_round;
+
+    sim::RoundRunner runner(
+        scenario.network, scenario.topology,
+        make_selectors(scenario.network.size(), config.algorithm,
+                       config.params),
+        blocks_per_round, config.seed,
+        config.message_level ? sim::RoundRunner::Engine::Gossip
+                             : sim::RoundRunner::Engine::Fast);
+
+    std::unique_ptr<net::AddrMan> addrman;
+    if (config.partial_view) {
+      addrman = std::make_unique<net::AddrMan>(scenario.network.size(),
+                                               config.addrman_capacity);
+      util::Rng boot_rng = util::Rng(config.seed).split(0xB007);
+      addrman->bootstrap(boot_rng, config.addrman_bootstrap);
+      addrman->add_neighbors_of(scenario.topology);
+      runner.set_addrman(addrman.get());
+    }
+
+    if (config.checkpoints > 0) {
+      result.checkpoints.push_back(make_checkpoint(
+          0, scenario.topology, scenario.network, config.coverage));
+    }
+    const int interval =
+        config.checkpoints > 0
+            ? std::max(1, total_rounds / config.checkpoints)
+            : total_rounds;
+    int done = 0;
+    while (done < total_rounds) {
+      const int step = std::min(interval, total_rounds - done);
+      runner.run_rounds(step);
+      done += step;
+      if (config.checkpoints > 0) {
+        result.checkpoints.push_back(make_checkpoint(
+            static_cast<std::size_t>(done) *
+                static_cast<std::size_t>(blocks_per_round),
+            scenario.topology, scenario.network, config.coverage));
+      }
+    }
+  }
+
+  result.lambda = metrics::eval_all_sources(scenario.topology,
+                                            scenario.network, config.coverage);
+  result.lambda50 =
+      metrics::eval_all_sources(scenario.topology, scenario.network, 0.50);
+  result.edge_latencies =
+      metrics::p2p_edge_latencies(scenario.topology, scenario.network);
+  return result;
+}
+
+std::vector<double> run_ideal(const ExperimentConfig& config) {
+  const Scenario scenario = build_scenario(config);
+  // The scenario topology holds only infra (relay) edges at this point;
+  // overlaying them keeps the bound valid when a relay network exists.
+  return metrics::eval_ideal(scenario.network, config.coverage,
+                             &scenario.topology);
+}
+
+MultiSeedResult run_multi_seed(ExperimentConfig config, int num_seeds) {
+  PERIGEE_ASSERT(num_seeds >= 1);
+  std::vector<std::vector<double>> runs;
+  std::vector<std::vector<double>> runs50;
+  const std::uint64_t base_seed = config.seed;
+  for (int s = 0; s < num_seeds; ++s) {
+    config.seed = base_seed + static_cast<std::uint64_t>(s);
+    ExperimentResult r = run_experiment(config);
+    runs.push_back(std::move(r.lambda));
+    runs50.push_back(std::move(r.lambda50));
+  }
+  return MultiSeedResult{metrics::aggregate_sorted_curves(std::move(runs)),
+                         metrics::aggregate_sorted_curves(std::move(runs50))};
+}
+
+IncrementalResult run_incremental(const ExperimentConfig& config,
+                                  double adopter_fraction) {
+  PERIGEE_ASSERT(adopter_fraction >= 0.0 && adopter_fraction <= 1.0);
+  Scenario scenario = build_scenario(config);
+
+  ExperimentConfig random_start = config;
+  random_start.algorithm = Algorithm::Random;
+  build_initial_topology(random_start, scenario);
+
+  const std::size_t n = scenario.network.size();
+  util::Rng adopt_rng = util::Rng(config.seed).split(0xAD07);
+  const auto k = static_cast<std::size_t>(adopter_fraction *
+                                          static_cast<double>(n));
+  std::vector<bool> adopter(n, false);
+  for (std::size_t idx : adopt_rng.sample_indices(n, k)) adopter[idx] = true;
+
+  std::vector<std::unique_ptr<sim::NeighborSelector>> selectors;
+  selectors.reserve(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    selectors.push_back(adopter[v]
+                            ? make_selector(Algorithm::PerigeeSubset,
+                                            config.params)
+                            : make_selector(Algorithm::Random));
+  }
+  sim::RoundRunner runner(scenario.network, scenario.topology,
+                          std::move(selectors), config.blocks_per_round,
+                          config.seed);
+  runner.run_rounds(config.rounds);
+
+  const auto lambda = metrics::eval_all_sources(
+      scenario.topology, scenario.network, config.coverage);
+  IncrementalResult result;
+  for (std::size_t v = 0; v < n; ++v) {
+    (adopter[v] ? result.lambda_adopters : result.lambda_others)
+        .push_back(lambda[v]);
+  }
+  return result;
+}
+
+}  // namespace perigee::core

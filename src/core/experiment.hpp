@@ -1,0 +1,123 @@
+// One-call experiment harness reproducing the paper's evaluation pipeline
+// (§5.1): build a network scenario, construct the initial topology, run the
+// protocol's learning rounds, and measure λv for every node.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/params.hpp"
+#include "core/perigee.hpp"
+#include "metrics/curves.hpp"
+#include "mining/hashpower.hpp"
+#include "net/network.hpp"
+#include "net/topology.hpp"
+#include "topo/relay.hpp"
+
+namespace perigee::core {
+
+struct ExperimentConfig {
+  net::NetworkOptions net;        // n, latency kind, validation scale, ...
+  net::TopologyLimits limits;     // dout = 8, din <= 20
+
+  Algorithm algorithm = Algorithm::PerigeeSubset;
+  PerigeeParams params;
+
+  // Learning schedule for the adaptive variants. Vanilla/Subset run `rounds`
+  // rounds of `blocks_per_round` blocks; UCB (a |B|=1 method) runs
+  // rounds * blocks_per_round single-block rounds, so every variant sees the
+  // same number of mined blocks. Static baselines skip the loop entirely.
+  int rounds = 40;
+  int blocks_per_round = net::kDefaultBlocksPerRound;
+
+  mining::HashPowerModel hash_model = mining::HashPowerModel::Uniform;
+  mining::PoolsConfig pools;
+  // Figure 4(b): scale applied to links between pool members (1 = off).
+  double pool_latency_scale = 1.0;
+
+  // Figure 4(c): install the fast relay overlay before the p2p topology.
+  bool relay = false;
+  topo::RelayConfig relay_config;
+
+  // Partial-view peer discovery (§2.1 addrMan / §6): when enabled, each node
+  // knows only a bounded address book — bootstrapped with `addrman_bootstrap`
+  // random addresses and refreshed by per-round gossip — and exploration
+  // samples from it instead of the global node set. Off by default, matching
+  // the paper's "each node knows all IPs" evaluation assumption.
+  bool partial_view = false;
+  std::size_t addrman_capacity = 100;
+  std::size_t addrman_bootstrap = 30;
+
+  // When true, learning runs on the message-level gossip engine: neighbors
+  // are scored by INV announcement timestamps (footnote 3 of the paper)
+  // instead of the fast engine's block delivery times. Roughly 20x slower;
+  // used to validate that the fast abstraction does not change outcomes.
+  bool message_level = false;
+
+  double coverage = 0.90;
+  // Number of intermediate λ evaluations during learning (0 = none).
+  int checkpoints = 0;
+
+  // Master seed: drives network construction, hash power, initial topology,
+  // mining and exploration.
+  std::uint64_t seed = 1;
+};
+
+struct Checkpoint {
+  std::size_t blocks_mined = 0;  // cumulative blocks at this checkpoint
+  double mean_lambda = 0;        // mean λ (at config.coverage) across nodes
+  double median_lambda = 0;
+};
+
+struct ExperimentResult {
+  std::string algorithm;
+  std::vector<double> lambda;    // per-node λ at config.coverage (unsorted)
+  std::vector<double> lambda50;  // per-node λ at 50% coverage
+  std::vector<double> edge_latencies;  // final p2p edge link latencies
+  std::vector<Checkpoint> checkpoints;
+};
+
+// The scenario shared by an experiment and its ideal bound: network with
+// hash power assigned (and pool latency scaling applied), plus the relay
+// overlay if configured.
+struct Scenario {
+  net::Network network;
+  net::Topology topology;
+  std::vector<net::NodeId> pool_members;
+  std::vector<net::NodeId> relay_members;
+};
+
+// Builds the scenario: network, hash power, latency decorators, infra
+// overlay. The topology contains only infra edges on return.
+Scenario build_scenario(const ExperimentConfig& config);
+
+// Installs the initial p2p topology for `algorithm` into the scenario
+// (random start for adaptive variants; the baseline's own construction for
+// static ones).
+void build_initial_topology(const ExperimentConfig& config, Scenario& scenario);
+
+ExperimentResult run_experiment(const ExperimentConfig& config);
+
+// λv on the fully-connected topology of the same scenario.
+std::vector<double> run_ideal(const ExperimentConfig& config);
+
+// Repeats `run_experiment` with seeds seed, seed+1, ... and aggregates the
+// sorted per-node curves (paper: 3 independently sampled link latencies).
+struct MultiSeedResult {
+  metrics::Curve curve;    // at config.coverage
+  metrics::Curve curve50;  // at 50% coverage
+};
+MultiSeedResult run_multi_seed(ExperimentConfig config, int num_seeds);
+
+// Incremental-deployment ablation (§1.2): `adopter_fraction` of nodes run
+// Perigee-Subset while the rest keep their random neighbors. λ is reported
+// separately for the two groups.
+struct IncrementalResult {
+  std::vector<double> lambda_adopters;
+  std::vector<double> lambda_others;
+};
+IncrementalResult run_incremental(const ExperimentConfig& config,
+                                  double adopter_fraction);
+
+}  // namespace perigee::core

@@ -1,0 +1,73 @@
+#include "core/perigee.hpp"
+
+#include "core/subset.hpp"
+#include "core/ucb.hpp"
+#include "core/vanilla.hpp"
+#include "util/assert.hpp"
+
+namespace perigee::core {
+
+std::string_view algorithm_name(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::Random:
+      return "random";
+    case Algorithm::Geographic:
+      return "geographic";
+    case Algorithm::Kademlia:
+      return "kademlia";
+    case Algorithm::KNearestOracle:
+      return "k-nearest-oracle";
+    case Algorithm::CoordinateGreedy:
+      return "coordinate-greedy";
+    case Algorithm::PerigeeVanilla:
+      return "perigee-vanilla";
+    case Algorithm::PerigeeUcb:
+      return "perigee-ucb";
+    case Algorithm::PerigeeSubset:
+      return "perigee-subset";
+    case Algorithm::Ideal:
+      return "ideal";
+  }
+  return "unknown";
+}
+
+bool is_adaptive(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::PerigeeVanilla:
+    case Algorithm::PerigeeUcb:
+    case Algorithm::PerigeeSubset:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::unique_ptr<sim::NeighborSelector> make_selector(
+    Algorithm algorithm, const PerigeeParams& params) {
+  switch (algorithm) {
+    case Algorithm::PerigeeVanilla:
+      return std::make_unique<VanillaSelector>(params);
+    case Algorithm::PerigeeUcb:
+      return std::make_unique<UcbSelector>(params);
+    case Algorithm::PerigeeSubset:
+      return std::make_unique<SubsetSelector>(params);
+    case Algorithm::Ideal:
+      PERIGEE_ASSERT_MSG(false,
+                         "ideal is evaluated analytically, not simulated");
+      return nullptr;
+    default:
+      return std::make_unique<sim::StaticSelector>();
+  }
+}
+
+std::vector<std::unique_ptr<sim::NeighborSelector>> make_selectors(
+    std::size_t n, Algorithm algorithm, const PerigeeParams& params) {
+  std::vector<std::unique_ptr<sim::NeighborSelector>> selectors;
+  selectors.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    selectors.push_back(make_selector(algorithm, params));
+  }
+  return selectors;
+}
+
+}  // namespace perigee::core

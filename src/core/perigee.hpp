@@ -1,0 +1,42 @@
+// Public entry point of the Perigee library: the algorithm catalogue and the
+// selector factory. See core/experiment.hpp for the one-call experiment
+// harness and the individual headers for each scoring method.
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "core/params.hpp"
+#include "sim/selector.hpp"
+
+namespace perigee::core {
+
+// Every neighbor-selection policy evaluated in the paper (§5.1).
+enum class Algorithm {
+  Random,           // §3.1 static random topology
+  Geographic,       // §3.2 static geography-clustered topology
+  Kademlia,         // Kadcast-style structured overlay (static)
+  KNearestOracle,   // latency-oracle k-nearest topology (upper-bound heuristic)
+  CoordinateGreedy, // Vivaldi coordinates + nearest-by-estimate (static)
+  PerigeeVanilla,  // §4.2.1 individual 90th-percentile scoring
+  PerigeeUcb,      // §4.2.2 confidence-bound scoring, 1-block rounds
+  PerigeeSubset,   // §4.3 greedy joint scoring (the paper's best variant)
+  Ideal,           // fully-connected lower bound (evaluated analytically)
+};
+
+std::string_view algorithm_name(Algorithm algorithm);
+
+// True for the Perigee variants that rewire each round.
+bool is_adaptive(Algorithm algorithm);
+
+// Selector instance for one node under `algorithm` (StaticSelector for the
+// non-adaptive baselines).
+std::unique_ptr<sim::NeighborSelector> make_selector(
+    Algorithm algorithm, const PerigeeParams& params = {});
+
+// One selector per node, as RoundRunner expects.
+std::vector<std::unique_ptr<sim::NeighborSelector>> make_selectors(
+    std::size_t n, Algorithm algorithm, const PerigeeParams& params = {});
+
+}  // namespace perigee::core

@@ -1,0 +1,32 @@
+#include "core/rewire.hpp"
+
+#include <algorithm>
+
+#include "topo/builders.hpp"
+#include "util/assert.hpp"
+
+namespace perigee::core {
+
+int retain_and_explore(net::Topology& topology, net::NodeId v,
+                       const std::vector<net::NodeId>& keep, util::Rng& rng,
+                       const net::AddrMan* addrman) {
+  // Snapshot: disconnect mutates the outgoing list.
+  const std::vector<net::NodeId> current = topology.out(v);
+  for (net::NodeId u : keep) {
+    PERIGEE_ASSERT_MSG(
+        std::find(current.begin(), current.end(), u) != current.end(),
+        "retained peer is not a current outgoing neighbor");
+  }
+  for (net::NodeId u : current) {
+    if (std::find(keep.begin(), keep.end(), u) == keep.end()) {
+      topology.disconnect(v, u);
+    }
+  }
+  const int want = topology.limits().out_cap - topology.out_count(v);
+  if (addrman != nullptr) {
+    return topo::dial_peers_from_book(topology, v, want, *addrman, rng);
+  }
+  return topo::dial_random_peers(topology, v, want, rng);
+}
+
+}  // namespace perigee::core

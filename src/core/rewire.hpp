@@ -1,0 +1,24 @@
+// Rewiring helper shared by the Perigee scoring variants: disconnect the
+// non-retained outgoing neighbors and refill the freed slots with random
+// peers (Algorithm 1's exploration step), respecting incoming caps.
+#pragma once
+
+#include <vector>
+
+#include "net/addrman.hpp"
+#include "net/topology.hpp"
+#include "util/rng.hpp"
+
+namespace perigee::core {
+
+// Keeps exactly the outgoing connections v->u for u in `keep` (which must
+// all be current outgoing neighbors of v), drops the rest, then dials random
+// peers until v's outgoing slots are full or attempts are exhausted. With a
+// non-null `addrman`, exploration candidates come from v's address book
+// (partial view) instead of the global node set. Returns the number of new
+// connections established.
+int retain_and_explore(net::Topology& topology, net::NodeId v,
+                       const std::vector<net::NodeId>& keep, util::Rng& rng,
+                       const net::AddrMan* addrman = nullptr);
+
+}  // namespace perigee::core

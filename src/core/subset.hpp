@@ -1,0 +1,23 @@
+// SubsetScoring (paper §4.3): neighbors are scored jointly. The retained
+// group is grown greedily — each step adds the neighbor whose delivery times
+// best *complement* the group chosen so far, by scoring the per-block minimum
+// between the candidate's relative timestamps and the group's.
+#pragma once
+
+#include "core/params.hpp"
+#include "sim/selector.hpp"
+
+namespace perigee::core {
+
+class SubsetSelector final : public sim::NeighborSelector {
+ public:
+  explicit SubsetSelector(PerigeeParams params = {}) : params_(params) {}
+
+  void on_round_end(net::NodeId self, sim::RoundContext& ctx) override;
+  const char* name() const override { return "perigee-subset"; }
+
+ private:
+  PerigeeParams params_;
+};
+
+}  // namespace perigee::core

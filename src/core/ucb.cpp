@@ -1,0 +1,106 @@
+#include "core/ucb.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "topo/builders.hpp"
+#include "util/assert.hpp"
+#include "util/stats.hpp"
+
+namespace perigee::core {
+
+void UcbSelector::Arm::add(double value, std::size_t window) {
+  PERIGEE_ASSERT(window > 0);
+  if (recent.size() == window) {
+    const double oldest = recent.front();
+    recent.pop_front();
+    const auto it =
+        std::lower_bound(sorted.begin(), sorted.end(), oldest);
+    PERIGEE_ASSERT(it != sorted.end());
+    sorted.erase(it);
+  }
+  recent.push_back(value);
+  sorted.insert(std::upper_bound(sorted.begin(), sorted.end(), value), value);
+}
+
+UcbSelector::Bounds UcbSelector::compute_bounds(const Arm& arm) const {
+  Bounds b;
+  b.samples = arm.sorted.size();
+  if (arm.sorted.empty()) {
+    // A neighbor with zero finite deliveries after a full round never
+    // relayed anything: rank it worst with full confidence.
+    b.estimate = util::kInf;
+    b.lcb = util::kInf;
+    b.ucb = util::kInf;
+    return b;
+  }
+  b.estimate = util::percentile_sorted(arm.sorted, params_.percentile);
+  const auto n = static_cast<double>(arm.sorted.size());
+  const double half_width =
+      params_.ucb_c * std::sqrt(std::log(std::max(n, 1.0)) / (2.0 * n));
+  b.lcb = b.estimate - half_width;
+  b.ucb = b.estimate + half_width;
+  return b;
+}
+
+UcbSelector::Bounds UcbSelector::bounds_for(net::NodeId neighbor) const {
+  auto it = arms_.find(neighbor);
+  if (it == arms_.end()) return compute_bounds(Arm{});
+  return compute_bounds(it->second);
+}
+
+void UcbSelector::on_round_end(net::NodeId self, sim::RoundContext& ctx) {
+  const auto& obs = ctx.obs;
+  const auto window = static_cast<std::size_t>(params_.ucb_window);
+
+  // Fold this round's finite relative timestamps into each outgoing
+  // neighbor's window.
+  std::vector<net::NodeId> outgoing;
+  for (std::size_t i = 0; i < obs.neighbor_count(self); ++i) {
+    if (!obs.is_outgoing(self, i)) continue;
+    const net::NodeId u = obs.neighbors(self)[i];
+    outgoing.push_back(u);
+    Arm& arm = arms_[u];
+    for (double t : obs.rel_times(self, i)) {
+      if (std::isfinite(t)) arm.add(t, window);
+    }
+  }
+  // Forget arms of neighbors no longer connected: if they are re-explored
+  // later they start fresh, as the paper's per-connection history implies.
+  for (auto it = arms_.begin(); it != arms_.end();) {
+    if (std::find(outgoing.begin(), outgoing.end(), it->first) ==
+        outgoing.end()) {
+      it = arms_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (outgoing.size() < 2) return;
+
+  // Disconnect rule: drop argmax lcb iff max lcb > min ucb.
+  net::NodeId worst = outgoing.front();
+  double max_lcb = -util::kInf;
+  double min_ucb = util::kInf;
+  for (net::NodeId u : outgoing) {
+    const Bounds b = compute_bounds(arms_[u]);
+    // First strictly-greater lcb wins; outgoing is in adjacency order, so
+    // ties resolve deterministically.
+    if (b.lcb > max_lcb) {
+      max_lcb = b.lcb;
+      worst = u;
+    }
+    min_ucb = std::min(min_ucb, b.ucb);
+  }
+  if (max_lcb > min_ucb) {
+    ctx.topology.disconnect(self, worst);
+    arms_.erase(worst);
+    if (ctx.addrman != nullptr) {
+      topo::dial_peers_from_book(ctx.topology, self, 1, *ctx.addrman,
+                                 ctx.rng);
+    } else {
+      topo::dial_random_peers(ctx.topology, self, 1, ctx.rng);
+    }
+  }
+}
+
+}  // namespace perigee::core

@@ -1,0 +1,61 @@
+// UCBScoring (paper §4.2.2): per-neighbor delay estimates with confidence
+// bounds accumulated over the rounds a neighbor has stayed connected
+// (Eq. 3-4). A neighbor is disconnected only when its lower confidence bound
+// exceeds some neighbor's upper bound — i.e. when it is statistically
+// distinguishable as worse — which prevents evicting a good neighbor on a
+// noisy single-block round. Designed for |B| = 1 rounds.
+//
+// Implementation note: the paper's multiset union over a neighbor's entire
+// connection lifetime grows without bound, making the per-round percentile
+// O(history · log history) and the whole run quadratic. We keep a sliding
+// window of the most recent `ucb_window` samples in incrementally-sorted
+// form: O(log W) per insert, O(1) percentile. Beyond a few hundred samples
+// the confidence interval is already narrow, and a bounded window also adapts
+// faster when the network drifts.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "core/params.hpp"
+#include "sim/selector.hpp"
+
+namespace perigee::core {
+
+class UcbSelector final : public sim::NeighborSelector {
+ public:
+  explicit UcbSelector(PerigeeParams params = {}) : params_(params) {}
+
+  void on_round_end(net::NodeId self, sim::RoundContext& ctx) override;
+  const char* name() const override { return "perigee-ucb"; }
+
+  struct Bounds {
+    double estimate;  // 90th percentile of windowed samples
+    double lcb;
+    double ucb;
+    std::size_t samples;
+  };
+
+  // Current bounds for an outgoing neighbor (for tests/inspection); returns
+  // zero-sample bounds if the neighbor is unknown.
+  Bounds bounds_for(net::NodeId neighbor) const;
+
+ private:
+  // Sliding window of the most recent finite relative delivery times of one
+  // connected neighbor, maintained both in arrival order (for eviction) and
+  // sorted (for O(1) percentiles).
+  struct Arm {
+    std::deque<double> recent;
+    std::vector<double> sorted;
+
+    void add(double value, std::size_t window);
+  };
+
+  std::map<net::NodeId, Arm> arms_;
+  PerigeeParams params_;
+
+  Bounds compute_bounds(const Arm& arm) const;
+};
+
+}  // namespace perigee::core

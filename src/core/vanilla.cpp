@@ -1,0 +1,36 @@
+#include "core/vanilla.hpp"
+
+#include <algorithm>
+
+#include "core/rewire.hpp"
+#include "util/stats.hpp"
+
+namespace perigee::core {
+
+void VanillaSelector::on_round_end(net::NodeId self, sim::RoundContext& ctx) {
+  const auto& obs = ctx.obs;
+  // Score the outgoing neighbors captured at round start; v's own outgoing
+  // set cannot have changed mid-round.
+  std::vector<std::pair<double, net::NodeId>> scored;
+  for (std::size_t i = 0; i < obs.neighbor_count(self); ++i) {
+    if (!obs.is_outgoing(self, i)) continue;
+    const double score = util::percentile(obs.rel_times(self, i),
+                                          params_.percentile);
+    scored.emplace_back(score, obs.neighbors(self)[i]);
+  }
+  if (scored.empty()) {
+    // No outgoing neighbors (degenerate start): just explore.
+    retain_and_explore(ctx.topology, self, {}, ctx.rng, ctx.addrman);
+    return;
+  }
+  std::sort(scored.begin(), scored.end());
+  const auto keep_n =
+      std::min<std::size_t>(static_cast<std::size_t>(params_.keep),
+                            scored.size());
+  std::vector<net::NodeId> keep;
+  keep.reserve(keep_n);
+  for (std::size_t i = 0; i < keep_n; ++i) keep.push_back(scored[i].second);
+  retain_and_explore(ctx.topology, self, keep, ctx.rng, ctx.addrman);
+}
+
+}  // namespace perigee::core

@@ -1,0 +1,22 @@
+// VanillaScoring (paper §4.2.1): each outgoing neighbor's score is the 90th
+// percentile of its relative delivery times over the round; the best `keep`
+// are retained, the rest replaced by random exploration.
+#pragma once
+
+#include "core/params.hpp"
+#include "sim/selector.hpp"
+
+namespace perigee::core {
+
+class VanillaSelector final : public sim::NeighborSelector {
+ public:
+  explicit VanillaSelector(PerigeeParams params = {}) : params_(params) {}
+
+  void on_round_end(net::NodeId self, sim::RoundContext& ctx) override;
+  const char* name() const override { return "perigee-vanilla"; }
+
+ private:
+  PerigeeParams params_;
+};
+
+}  // namespace perigee::core

@@ -1,0 +1,58 @@
+#include "metrics/curves.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+#include "util/stats.hpp"
+
+namespace perigee::metrics {
+
+Curve aggregate_sorted_curves(std::vector<std::vector<double>> runs) {
+  PERIGEE_ASSERT(!runs.empty());
+  const std::size_t n = runs.front().size();
+  for (auto& run : runs) {
+    PERIGEE_ASSERT(run.size() == n);
+    std::sort(run.begin(), run.end());
+  }
+  Curve curve;
+  curve.mean.assign(n, 0.0);
+  curve.stddev.assign(n, 0.0);
+  const auto r = static_cast<double>(runs.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = 0;
+    for (const auto& run : runs) s += run[i];
+    curve.mean[i] = s / r;
+    if (runs.size() > 1) {
+      double s2 = 0;
+      for (const auto& run : runs) {
+        s2 += (run[i] - curve.mean[i]) * (run[i] - curve.mean[i]);
+      }
+      curve.stddev[i] = std::sqrt(s2 / (r - 1.0));
+    }
+  }
+  return curve;
+}
+
+std::vector<std::size_t> errorbar_indices(std::size_t n) {
+  PERIGEE_ASSERT(n > 0);
+  std::vector<std::size_t> idx;
+  for (double f : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    idx.push_back(std::min(n - 1, static_cast<std::size_t>(
+                                      f * static_cast<double>(n))));
+  }
+  return idx;
+}
+
+double improvement_at(const Curve& ours, const Curve& baseline,
+                      std::size_t i) {
+  PERIGEE_ASSERT(i < ours.mean.size() && i < baseline.mean.size());
+  PERIGEE_ASSERT(baseline.mean[i] > 0);
+  return 1.0 - ours.mean[i] / baseline.mean[i];
+}
+
+double curve_mean(const Curve& curve) {
+  return util::mean(curve.mean);
+}
+
+}  // namespace perigee::metrics

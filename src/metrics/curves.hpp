@@ -1,0 +1,33 @@
+// Multi-seed curve aggregation in the paper's plotting convention (§5.1):
+// per-node λ values are sorted ascending per run, then averaged index-wise
+// across runs; error bars are reported at nodes 100, 300, 500, 700, 900
+// (scaled to the network size).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace perigee::metrics {
+
+struct Curve {
+  std::vector<double> mean;    // sorted-λ mean across runs, per node index
+  std::vector<double> stddev;  // index-wise stddev across runs
+};
+
+// Sorts each run's values and averages index-wise. All runs must have equal
+// length.
+Curve aggregate_sorted_curves(std::vector<std::vector<double>> runs);
+
+// The paper's error-bar positions for n nodes: {0.1n, 0.3n, 0.5n, 0.7n,
+// 0.9n} as indices.
+std::vector<std::size_t> errorbar_indices(std::size_t n);
+
+// Relative improvement of `ours` vs `baseline` at index i (positive = ours
+// faster), e.g. the paper's "33% lower delay at the 500th node".
+double improvement_at(const Curve& ours, const Curve& baseline, std::size_t i);
+
+// Mean of a curve's mean series (a scalar summary used in tables).
+double curve_mean(const Curve& curve);
+
+}  // namespace perigee::metrics

@@ -1,0 +1,37 @@
+#include "metrics/edge_hist.hpp"
+
+#include <algorithm>
+
+#include "net/geo.hpp"
+#include "util/assert.hpp"
+
+namespace perigee::metrics {
+
+std::vector<double> p2p_edge_latencies(const net::Topology& topology,
+                                       const net::Network& network) {
+  std::vector<double> latencies;
+  for (const auto& [u, v] : topology.p2p_edges()) {
+    latencies.push_back(network.link_ms(u, v));
+  }
+  return latencies;
+}
+
+util::Histogram edge_latency_histogram(const net::Topology& topology,
+                                       const net::Network& network,
+                                       std::size_t bins) {
+  const auto latencies = p2p_edge_latencies(topology, network);
+  double hi = net::max_region_latency_ms() * 1.5;
+  for (double x : latencies) hi = std::max(hi, x + 1.0);
+  util::Histogram hist(0.0, hi, bins);
+  hist.add_all(latencies);
+  return hist;
+}
+
+double fraction_below(const std::vector<double>& latencies, double cut_ms) {
+  if (latencies.empty()) return 0.0;
+  const auto below = std::count_if(latencies.begin(), latencies.end(),
+                                   [cut_ms](double x) { return x < cut_ms; });
+  return static_cast<double>(below) / static_cast<double>(latencies.size());
+}
+
+}  // namespace perigee::metrics

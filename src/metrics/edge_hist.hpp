@@ -1,0 +1,27 @@
+// Edge-latency histograms (paper Figure 5): the distribution of link
+// latencies over the final p2p topology reveals what a protocol learned —
+// the intra-continent mode vs the inter-continent mode.
+#pragma once
+
+#include <vector>
+
+#include "net/network.hpp"
+#include "net/topology.hpp"
+#include "util/stats.hpp"
+
+namespace perigee::metrics {
+
+// Link propagation latency of every p2p edge (infra edges excluded; each
+// undirected edge once).
+std::vector<double> p2p_edge_latencies(const net::Topology& topology,
+                                       const net::Network& network);
+
+util::Histogram edge_latency_histogram(const net::Topology& topology,
+                                       const net::Network& network,
+                                       std::size_t bins = 24);
+
+// Fraction of edges with latency below `cut_ms` — the mass at the
+// intra-continent mode, Perigee-Subset's signature in Figure 5.
+double fraction_below(const std::vector<double>& latencies, double cut_ms);
+
+}  // namespace perigee::metrics

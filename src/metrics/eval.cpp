@@ -1,0 +1,130 @@
+#include "metrics/eval.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+#include "util/stats.hpp"
+
+namespace perigee::metrics {
+namespace {
+
+// Shared accumulation: given (arrival, hash power) pairs, the earliest time
+// at which cumulative power reaches coverage * total_power.
+double coverage_time(std::vector<std::pair<double, double>>& by_arrival,
+                     double total_power, double coverage) {
+  PERIGEE_ASSERT(coverage > 0.0 && coverage <= 1.0);
+  std::sort(by_arrival.begin(), by_arrival.end());
+  const double target = coverage * total_power;
+  double acc = 0;
+  for (const auto& [t, power] : by_arrival) {
+    if (std::isinf(t)) break;  // unreachable tail
+    acc += power;
+    // Tolerate fp round-off in normalized hash powers.
+    if (acc >= target - 1e-12) return t;
+  }
+  return util::kInf;
+}
+
+}  // namespace
+
+double lambda_for_broadcast(const sim::BroadcastResult& result,
+                            const net::Network& network, double coverage) {
+  PERIGEE_ASSERT(result.arrival.size() == network.size());
+  std::vector<std::pair<double, double>> by_arrival;
+  by_arrival.reserve(network.size());
+  double total = 0;
+  for (net::NodeId v = 0; v < network.size(); ++v) {
+    const double power = network.profile(v).hash_power;
+    total += power;
+    by_arrival.emplace_back(result.arrival[v], power);
+  }
+  return coverage_time(by_arrival, total, coverage);
+}
+
+std::vector<double> eval_all_sources(const net::Topology& topology,
+                                     const net::Network& network,
+                                     double coverage) {
+  std::vector<double> lambda(network.size());
+  for (net::NodeId v = 0; v < network.size(); ++v) {
+    const auto result = sim::simulate_broadcast(topology, network, v);
+    lambda[v] = lambda_for_broadcast(result, network, coverage);
+  }
+  return lambda;
+}
+
+std::vector<double> eval_ideal(const net::Network& network, double coverage,
+                               const net::Topology* infra) {
+  // Broadcast on the fully-connected topology. Direct delivery is not
+  // always fastest — per-pair jitter can make a two-hop path through a fast
+  // intermediary beat a slow direct link — so this is a dense Dijkstra per
+  // source over a cached δ matrix, exactly what simulating the complete
+  // graph would do, without materializing an O(n^2) Topology.
+  const std::size_t n = network.size();
+  std::vector<double> delta(n * n, 0.0);
+  for (net::NodeId u = 0; u < n; ++u) {
+    for (net::NodeId v = u + 1; v < n; ++v) {
+      const double d = network.edge_delay_ms(u, v);
+      delta[u * n + v] = d;
+      delta[v * n + u] = d;
+    }
+  }
+  if (infra != nullptr) {
+    PERIGEE_ASSERT(infra->size() == n);
+    for (const auto& [u, v] : infra->infra_edges()) {
+      const double ms = *infra->infra_latency(u, v);
+      delta[u * n + v] = std::min(delta[u * n + v], ms);
+      delta[v * n + u] = std::min(delta[v * n + u], ms);
+    }
+  }
+
+  std::vector<double> lambda(n);
+  std::vector<double> arrival(n), ready(n);
+  std::vector<bool> settled(n);
+  std::vector<std::pair<double, double>> by_arrival;
+  for (net::NodeId src = 0; src < n; ++src) {
+    arrival.assign(n, util::kInf);
+    ready.assign(n, util::kInf);
+    settled.assign(n, false);
+    arrival[src] = 0.0;
+    ready[src] = 0.0;
+    for (std::size_t iter = 0; iter < n; ++iter) {
+      // Dense min-selection: O(n) beats a heap on a complete graph.
+      std::size_t u = n;
+      double best = util::kInf;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!settled[i] && arrival[i] < best) {
+          best = arrival[i];
+          u = i;
+        }
+      }
+      if (u == n) break;
+      settled[u] = true;
+      if (!network.profile(static_cast<net::NodeId>(u)).forwards && u != src) {
+        continue;
+      }
+      const double r = ready[u];
+      const double* row = delta.data() + u * n;
+      for (std::size_t v = 0; v < n; ++v) {
+        if (settled[v]) continue;
+        const double cand = r + row[v];
+        if (cand < arrival[v]) {
+          arrival[v] = cand;
+          ready[v] =
+              cand + network.validation_ms(static_cast<net::NodeId>(v));
+        }
+      }
+    }
+    by_arrival.clear();
+    double total = 0;
+    for (net::NodeId u = 0; u < n; ++u) {
+      const double power = network.profile(u).hash_power;
+      total += power;
+      by_arrival.emplace_back(arrival[u], power);
+    }
+    lambda[src] = coverage_time(by_arrival, total, coverage);
+  }
+  return lambda;
+}
+
+}  // namespace perigee::metrics

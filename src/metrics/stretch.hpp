@@ -1,0 +1,42 @@
+// Path-stretch measurements for the theory experiments (paper §3, Theorems
+// 1-2, Figure 1): how much longer is the latency-weighted shortest path
+// between two nodes than their direct point-to-point latency?
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "net/network.hpp"
+#include "net/topology.hpp"
+#include "util/rng.hpp"
+
+namespace perigee::metrics {
+
+// Latency-weighted shortest-path distance from `src` to every node (link
+// propagation latency only — the pure graph-distance model of §3.1, no
+// validation delay). +inf for unreachable nodes.
+std::vector<double> latency_shortest_paths(const net::Topology& topology,
+                                           const net::Network& network,
+                                           net::NodeId src);
+
+struct StretchStats {
+  double mean = 0;
+  double p50 = 0;
+  double p90 = 0;
+  double max = 0;
+  std::size_t pairs = 0;        // measured pairs
+  std::size_t unreachable = 0;  // skipped: no path
+};
+
+// Stretch dist(u,v) / δ(u,v) over pairs sampled from `sources` random
+// sources to all targets with direct latency at least `min_direct_ms`
+// (Theorems 1-2 exclude near-coincident pairs, where stretch is ill-posed).
+StretchStats measure_stretch(const net::Topology& topology,
+                             const net::Network& network, util::Rng& rng,
+                             std::size_t sources, double min_direct_ms);
+
+// Stretch of one specific pair (Figure 1's corner-to-corner example).
+double pair_stretch(const net::Topology& topology, const net::Network& network,
+                    net::NodeId a, net::NodeId b);
+
+}  // namespace perigee::metrics

@@ -1,0 +1,57 @@
+#include "mining/hashpower.hpp"
+
+#include "util/assert.hpp"
+
+namespace perigee::mining {
+
+std::vector<net::NodeId> assign_hash_power(net::Network& network,
+                                           HashPowerModel model,
+                                           util::Rng& rng,
+                                           const PoolsConfig& pools) {
+  auto& profiles = network.mutable_profiles();
+  const std::size_t n = profiles.size();
+  PERIGEE_ASSERT(n > 0);
+  std::vector<net::NodeId> pool_members;
+
+  switch (model) {
+    case HashPowerModel::Uniform: {
+      for (auto& p : profiles) p.hash_power = 1.0 / static_cast<double>(n);
+      break;
+    }
+    case HashPowerModel::Exponential: {
+      double total = 0;
+      for (auto& p : profiles) {
+        p.hash_power = rng.exponential(1.0);
+        total += p.hash_power;
+      }
+      PERIGEE_ASSERT(total > 0);
+      for (auto& p : profiles) p.hash_power /= total;
+      break;
+    }
+    case HashPowerModel::Pools: {
+      PERIGEE_ASSERT(pools.pool_fraction > 0 && pools.pool_fraction < 1);
+      PERIGEE_ASSERT(pools.pool_share > 0 && pools.pool_share <= 1);
+      const auto k = std::max<std::size_t>(
+          1, static_cast<std::size_t>(pools.pool_fraction *
+                                      static_cast<double>(n)));
+      for (std::size_t idx : rng.sample_indices(n, k)) {
+        pool_members.push_back(static_cast<net::NodeId>(idx));
+      }
+      const double in_pool = pools.pool_share / static_cast<double>(k);
+      const double outside =
+          (1.0 - pools.pool_share) / static_cast<double>(n - k);
+      for (auto& p : profiles) p.hash_power = outside;
+      for (net::NodeId v : pool_members) profiles[v].hash_power = in_pool;
+      break;
+    }
+  }
+  return pool_members;
+}
+
+double total_hash_power(const net::Network& network) {
+  double total = 0;
+  for (const auto& p : network.profiles()) total += p.hash_power;
+  return total;
+}
+
+}  // namespace perigee::mining

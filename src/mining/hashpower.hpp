@@ -1,0 +1,36 @@
+// Hash-power assignment models (paper §5.1, §5.2, §5.4).
+#pragma once
+
+#include <vector>
+
+#include "net/network.hpp"
+#include "util/rng.hpp"
+
+namespace perigee::mining {
+
+enum class HashPowerModel {
+  // Every node holds 1/n of the hash power (paper default).
+  Uniform,
+  // fv ~ Exponential(mean 1), normalized to sum to 1 (Figure 3(b)).
+  Exponential,
+  // A random `pool_fraction` of nodes shares `pool_share` of the hash power
+  // equally; the rest split the remainder (Figure 4(b): 10% hold 90%).
+  Pools,
+};
+
+struct PoolsConfig {
+  double pool_fraction = 0.10;
+  double pool_share = 0.90;
+};
+
+// Overwrites profile.hash_power for every node. Returns the ids of pool
+// members (empty unless model == Pools). Deterministic in `rng`.
+std::vector<net::NodeId> assign_hash_power(net::Network& network,
+                                           HashPowerModel model,
+                                           util::Rng& rng,
+                                           const PoolsConfig& pools = {});
+
+// Total hash power across nodes (should be ~1 after assignment).
+double total_hash_power(const net::Network& network);
+
+}  // namespace perigee::mining

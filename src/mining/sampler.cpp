@@ -1,0 +1,62 @@
+#include "mining/sampler.hpp"
+
+#include "util/assert.hpp"
+
+namespace perigee::mining {
+
+AliasSampler::AliasSampler(const std::vector<double>& weights) {
+  const std::size_t n = weights.size();
+  PERIGEE_ASSERT(n > 0);
+  double total = 0;
+  for (double w : weights) {
+    PERIGEE_ASSERT(w >= 0);
+    total += w;
+  }
+  PERIGEE_ASSERT(total > 0);
+
+  norm_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) norm_[i] = weights[i] / total;
+
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+
+  // Vose's algorithm: split columns into under-/over-full relative to 1/n.
+  std::vector<double> scaled(n);
+  std::vector<std::size_t> small, large;
+  for (std::size_t i = 0; i < n; ++i) {
+    scaled[i] = norm_[i] * static_cast<double>(n);
+    (scaled[i] < 1.0 ? small : large).push_back(i);
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::size_t s = small.back();
+    small.pop_back();
+    const std::size_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  // Leftovers are exactly full (modulo fp error).
+  for (std::size_t i : large) prob_[i] = 1.0;
+  for (std::size_t i : small) prob_[i] = 1.0;
+}
+
+AliasSampler AliasSampler::from_hash_power(const net::Network& network) {
+  std::vector<double> w;
+  w.reserve(network.size());
+  for (const auto& p : network.profiles()) w.push_back(p.hash_power);
+  return AliasSampler(w);
+}
+
+std::size_t AliasSampler::sample(util::Rng& rng) const {
+  const std::size_t col = rng.uniform_index(prob_.size());
+  return rng.uniform() < prob_[col] ? col : alias_[col];
+}
+
+double AliasSampler::probability(std::size_t i) const {
+  PERIGEE_ASSERT(i < norm_.size());
+  return norm_[i];
+}
+
+}  // namespace perigee::mining

@@ -1,0 +1,36 @@
+// Weighted miner sampling.
+//
+// Each mined block's origin is drawn proportionally to hash power (paper
+// §2.1). Rounds draw 100 blocks x many rounds x many experiments, so we use
+// Vose's alias method: O(n) build, O(1) per draw.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "net/network.hpp"
+#include "util/rng.hpp"
+
+namespace perigee::mining {
+
+class AliasSampler {
+ public:
+  // Weights must be non-negative with a positive sum.
+  explicit AliasSampler(const std::vector<double>& weights);
+
+  // Builds from the network's hash-power vector.
+  static AliasSampler from_hash_power(const net::Network& network);
+
+  std::size_t sample(util::Rng& rng) const;
+  std::size_t size() const { return prob_.size(); }
+
+  // Exact sampling probability of index i (for tests).
+  double probability(std::size_t i) const;
+
+ private:
+  std::vector<double> prob_;        // acceptance probability per column
+  std::vector<std::size_t> alias_;  // fallback index per column
+  std::vector<double> norm_;        // normalized input weights
+};
+
+}  // namespace perigee::mining

@@ -1,0 +1,78 @@
+#include "net/addrman.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace perigee::net {
+
+AddrMan::AddrMan(std::size_t n_nodes, std::size_t capacity)
+    : capacity_(capacity), books_(n_nodes) {
+  PERIGEE_ASSERT(capacity_ >= 1);
+}
+
+void AddrMan::bootstrap(util::Rng& rng, std::size_t count) {
+  PERIGEE_ASSERT(count <= capacity_);
+  const std::size_t n = books_.size();
+  for (NodeId v = 0; v < n; ++v) {
+    for (std::size_t i = 0; i < count; ++i) {
+      learn(v, static_cast<NodeId>(rng.uniform_index(n)), rng);
+    }
+  }
+}
+
+void AddrMan::add_neighbors_of(const Topology& topology) {
+  PERIGEE_ASSERT(topology.size() == books_.size());
+  // Neighbor addresses are always worth knowing; use a throwaway generator
+  // for the (rare) eviction choice to keep this callable anywhere.
+  util::Rng rng(0xADD7);
+  for (NodeId v = 0; v < topology.size(); ++v) {
+    for (const auto& link : topology.adjacency(v)) {
+      learn(v, link.peer, rng);
+    }
+  }
+}
+
+bool AddrMan::knows(NodeId v, NodeId addr) const {
+  PERIGEE_ASSERT(v < books_.size());
+  const auto& book = books_[v];
+  return std::find(book.begin(), book.end(), addr) != book.end();
+}
+
+bool AddrMan::learn(NodeId v, NodeId addr, util::Rng& rng) {
+  PERIGEE_ASSERT(v < books_.size());
+  PERIGEE_ASSERT(addr < books_.size());
+  if (addr == v || knows(v, addr)) return false;
+  auto& book = books_[v];
+  if (book.size() < capacity_) {
+    book.push_back(addr);
+  } else {
+    book[rng.uniform_index(book.size())] = addr;
+  }
+  return true;
+}
+
+NodeId AddrMan::sample(NodeId v, util::Rng& rng) const {
+  PERIGEE_ASSERT(v < books_.size());
+  const auto& book = books_[v];
+  if (book.empty()) return kInvalidNode;
+  return book[rng.uniform_index(book.size())];
+}
+
+void AddrMan::gossip_round(const Topology& topology, util::Rng& rng,
+                           std::size_t fanout) {
+  PERIGEE_ASSERT(topology.size() == books_.size());
+  for (NodeId v = 0; v < topology.size(); ++v) {
+    for (const auto& link : topology.adjacency(v)) {
+      // The neighbor itself is an address worth keeping.
+      learn(v, link.peer, rng);
+      // v pushes `fanout` random entries of its book to the neighbor.
+      for (std::size_t i = 0; i < fanout; ++i) {
+        const NodeId addr = sample(v, rng);
+        if (addr != kInvalidNode) learn(link.peer, addr, rng);
+      }
+    }
+  }
+}
+
+}  // namespace perigee::net

@@ -1,0 +1,45 @@
+#include "net/embedding.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace perigee::net {
+
+void embed_uniform(std::vector<NodeProfile>& profiles, int dim,
+                   util::Rng& rng) {
+  PERIGEE_ASSERT(dim >= 1 && dim <= kMaxEmbedDim);
+  for (auto& p : profiles) {
+    p.coords.fill(0.0);
+    for (int i = 0; i < dim; ++i) {
+      p.coords[static_cast<std::size_t>(i)] = rng.uniform();
+    }
+  }
+}
+
+double embed_distance(const NodeProfile& a, const NodeProfile& b, int dim) {
+  PERIGEE_ASSERT(dim >= 1 && dim <= kMaxEmbedDim);
+  double s2 = 0;
+  for (int i = 0; i < dim; ++i) {
+    const double d = a.coords[static_cast<std::size_t>(i)] -
+                     b.coords[static_cast<std::size_t>(i)];
+    s2 += d * d;
+  }
+  return std::sqrt(s2);
+}
+
+double geometric_threshold(std::size_t n, int dim, double factor) {
+  PERIGEE_ASSERT(n >= 2);
+  PERIGEE_ASSERT(dim >= 1);
+  return factor * std::pow(std::log(static_cast<double>(n)) /
+                               static_cast<double>(n),
+                           1.0 / static_cast<double>(dim));
+}
+
+double random_graph_probability(std::size_t n, double c) {
+  PERIGEE_ASSERT(n >= 2);
+  return std::min(1.0, c * std::log(static_cast<double>(n)) /
+                           static_cast<double>(n));
+}
+
+}  // namespace perigee::net

@@ -1,0 +1,81 @@
+#include "net/geo.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace perigee::net {
+namespace {
+
+// One-way delays in milliseconds, loosely calibrated against public
+// inter-region RTT tables (RTT/2): intra-continent 12-35 ms, neighboring
+// continents 60-110 ms, antipodal pairs 140-170 ms. The strong
+// intra-vs-inter contrast is the feature Figure 5 of the paper shows the
+// algorithms exploiting.
+//                         NA   SA   EU   AS   CN   AF   OC
+constexpr double kBase[kNumRegions][kNumRegions] = {
+    /* NA */ {20, 90, 60, 110, 120, 140, 100},
+    /* SA */ {90, 25, 105, 160, 170, 160, 140},
+    /* EU */ {60, 105, 12, 90, 130, 80, 150},
+    /* AS */ {110, 160, 90, 30, 60, 130, 70},
+    /* CN */ {120, 170, 130, 60, 15, 160, 95},
+    /* AF */ {140, 160, 80, 130, 160, 35, 160},
+    /* OC */ {100, 140, 150, 70, 95, 160, 20},
+};
+
+constexpr std::array<double, kNumRegions> kWeights = {
+    0.36,  // North America
+    0.04,  // South America
+    0.33,  // Europe
+    0.10,  // Asia (ex-China)
+    0.09,  // China
+    0.03,  // Africa
+    0.05,  // Oceania
+};
+
+}  // namespace
+
+std::string_view region_name(Region r) {
+  switch (r) {
+    case Region::NorthAmerica:
+      return "NorthAmerica";
+    case Region::SouthAmerica:
+      return "SouthAmerica";
+    case Region::Europe:
+      return "Europe";
+    case Region::Asia:
+      return "Asia";
+    case Region::China:
+      return "China";
+    case Region::Africa:
+      return "Africa";
+    case Region::Oceania:
+      return "Oceania";
+  }
+  return "Unknown";
+}
+
+double region_base_latency_ms(Region a, Region b) {
+  const auto i = static_cast<int>(a);
+  const auto j = static_cast<int>(b);
+  PERIGEE_ASSERT(i >= 0 && i < kNumRegions && j >= 0 && j < kNumRegions);
+  return kBase[i][j];
+}
+
+const std::array<double, kNumRegions>& region_weights() { return kWeights; }
+
+double min_region_latency_ms() {
+  double m = kBase[0][0];
+  for (auto& row : kBase)
+    for (double v : row) m = std::min(m, v);
+  return m;
+}
+
+double max_region_latency_ms() {
+  double m = kBase[0][0];
+  for (auto& row : kBase)
+    for (double v : row) m = std::max(m, v);
+  return m;
+}
+
+}  // namespace perigee::net

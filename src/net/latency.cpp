@@ -1,0 +1,68 @@
+#include "net/latency.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace perigee::net {
+
+GeoLatencyModel::GeoLatencyModel(const std::vector<NodeProfile>* profiles,
+                                 std::uint64_t seed, double jitter_frac)
+    : profiles_(profiles), seed_(seed), jitter_frac_(jitter_frac) {
+  PERIGEE_ASSERT(profiles_ != nullptr);
+  PERIGEE_ASSERT(jitter_frac_ >= 0.0 && jitter_frac_ < 1.0);
+}
+
+double GeoLatencyModel::link_ms(NodeId u, NodeId v) const {
+  PERIGEE_ASSERT(u < profiles_->size() && v < profiles_->size());
+  const NodeProfile& pu = (*profiles_)[u];
+  const NodeProfile& pv = (*profiles_)[v];
+  const double base = region_base_latency_ms(pu.region, pv.region);
+  const NodeId lo = std::min(u, v);
+  const NodeId hi = std::max(u, v);
+  const std::uint64_t h = util::hash_combine(
+      util::hash_combine(seed_, lo), static_cast<std::uint64_t>(hi) + 1);
+  // Map the hash to [0,1), then to the jitter multiplier.
+  const double x =
+      static_cast<double>(h >> 11) * 0x1.0p-53;  // 53-bit mantissa fill
+  const double jitter = 1.0 + jitter_frac_ * (2.0 * x - 1.0);
+  return base * jitter + pu.access_ms + pv.access_ms;
+}
+
+EuclideanLatencyModel::EuclideanLatencyModel(
+    const std::vector<NodeProfile>* profiles, int dim, double scale_ms)
+    : profiles_(profiles), dim_(dim), scale_ms_(scale_ms) {
+  PERIGEE_ASSERT(profiles_ != nullptr);
+  PERIGEE_ASSERT(dim_ >= 1 && dim_ <= kMaxEmbedDim);
+  PERIGEE_ASSERT(scale_ms_ > 0);
+}
+
+double EuclideanLatencyModel::link_ms(NodeId u, NodeId v) const {
+  PERIGEE_ASSERT(u < profiles_->size() && v < profiles_->size());
+  const auto& a = (*profiles_)[u].coords;
+  const auto& b = (*profiles_)[v].coords;
+  double s2 = 0;
+  for (int i = 0; i < dim_; ++i) {
+    const double d = a[static_cast<std::size_t>(i)] -
+                     b[static_cast<std::size_t>(i)];
+    s2 += d * d;
+  }
+  return scale_ms_ * std::sqrt(s2);
+}
+
+PairClassScaledModel::PairClassScaledModel(std::unique_ptr<LatencyModel> base,
+                                           std::function<bool(NodeId)> in_class,
+                                           double scale)
+    : base_(std::move(base)), in_class_(std::move(in_class)), scale_(scale) {
+  PERIGEE_ASSERT(base_ != nullptr);
+  PERIGEE_ASSERT(scale_ > 0);
+}
+
+double PairClassScaledModel::link_ms(NodeId u, NodeId v) const {
+  const double d = base_->link_ms(u, v);
+  return (in_class_(u) && in_class_(v)) ? d * scale_ : d;
+}
+
+}  // namespace perigee::net

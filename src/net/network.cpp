@@ -1,0 +1,89 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+
+#include "net/embedding.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace perigee::net {
+
+Network::Network(std::shared_ptr<std::vector<NodeProfile>> profiles,
+                 std::unique_ptr<LatencyModel> latency, NetworkOptions options)
+    : profiles_(std::move(profiles)),
+      latency_(std::move(latency)),
+      options_(options) {}
+
+Network Network::build(const NetworkOptions& options) {
+  PERIGEE_ASSERT(options.n >= 2);
+  util::Rng rng(options.seed);
+  util::Rng region_rng = rng.split(1);
+  util::Rng access_rng = rng.split(2);
+  util::Rng validation_rng = rng.split(3);
+  util::Rng bandwidth_rng = rng.split(4);
+  util::Rng embed_rng = rng.split(5);
+
+  auto profiles = std::make_shared<std::vector<NodeProfile>>(options.n);
+
+  // Region assignment from the bitnodes-like mix.
+  const auto& weights = region_weights();
+  std::vector<double> w(weights.begin(), weights.end());
+  for (auto& p : *profiles) {
+    p.region = static_cast<Region>(region_rng.weighted_index(w));
+    p.access_ms =
+        access_rng.uniform(options.access_min_ms, options.access_max_ms);
+    const double lo = options.validation_mean_ms *
+                      (1.0 - options.validation_spread);
+    const double hi = options.validation_mean_ms *
+                      (1.0 + options.validation_spread);
+    p.validation_ms = validation_rng.uniform(lo, hi) * options.validation_scale;
+    p.bandwidth_mbps =
+        options.heterogeneous_bandwidth
+            ? bandwidth_rng.log_uniform(options.bandwidth_min_mbps,
+                                        options.bandwidth_max_mbps)
+            : options.bandwidth_default_mbps;
+    p.hash_power = 1.0 / static_cast<double>(options.n);
+  }
+
+  if (options.latency == NetworkOptions::LatencyKind::Euclidean) {
+    embed_uniform(*profiles, options.embed_dim, embed_rng);
+    // The embedding model owns the full latency; access delay would double
+    // count, so zero it.
+    for (auto& p : *profiles) p.access_ms = 0.0;
+  }
+
+  std::unique_ptr<LatencyModel> model;
+  if (options.latency == NetworkOptions::LatencyKind::Geo) {
+    model = std::make_unique<GeoLatencyModel>(profiles.get(), options.seed,
+                                              options.jitter_frac);
+  } else {
+    model = std::make_unique<EuclideanLatencyModel>(
+        profiles.get(), options.embed_dim, options.embed_scale_ms);
+  }
+
+  return Network(std::move(profiles), std::move(model), options);
+}
+
+double Network::edge_delay_ms(NodeId u, NodeId v) const {
+  double delay = options_.handshake_factor * latency_->link_ms(u, v);
+  if (options_.block_size_kb > 0.0) {
+    const double bw = std::min((*profiles_)[u].bandwidth_mbps,
+                               (*profiles_)[v].bandwidth_mbps);
+    PERIGEE_ASSERT(bw > 0);
+    // kilobits / (megabits/second) = milliseconds.
+    delay += options_.block_size_kb * 8.0 / bw;
+  }
+  return delay;
+}
+
+void Network::set_latency_model(std::unique_ptr<LatencyModel> model) {
+  PERIGEE_ASSERT(model != nullptr);
+  latency_ = std::move(model);
+}
+
+std::unique_ptr<LatencyModel> Network::make_geo_model() const {
+  return std::make_unique<GeoLatencyModel>(profiles_.get(), options_.seed,
+                                           options_.jitter_frac);
+}
+
+}  // namespace perigee::net

@@ -1,0 +1,110 @@
+// Network: the immutable-per-experiment substrate of nodes + latency model.
+//
+// A Network owns the node profiles (region, Δv, bandwidth, hash power) and a
+// LatencyModel, and exposes the per-edge block delay
+//   δ(u,v) = link_ms(u,v) + transmission_ms(u,v)
+// of the paper's §2.1 model. Topologies are separate objects (net/topology.hpp)
+// so many topologies can be evaluated over one Network.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "net/latency.hpp"
+#include "net/profile.hpp"
+#include "net/types.hpp"
+
+namespace perigee::net {
+
+struct NetworkOptions {
+  enum class LatencyKind { Geo, Euclidean };
+
+  std::size_t n = 1000;
+  std::uint64_t seed = 1;
+
+  LatencyKind latency = LatencyKind::Geo;
+
+  // Geo model parameters.
+  // Per-pair multiplicative jitter: real measured paths (iPlane) scatter
+  // widely around the regional mean, and that scatter is the structure a
+  // learning protocol exploits beyond coarse geography.
+  double jitter_frac = 0.4;
+  double access_min_ms = 1.0;
+  double access_max_ms = 6.0;
+
+  // Euclidean model parameters (used when latency == Euclidean).
+  int embed_dim = 2;
+  double embed_scale_ms = 100.0;
+
+  // Block validation Δv ~ Uniform[mean*(1-spread), mean*(1+spread)] * scale.
+  // The paper's default is mean 50 ms; `validation_scale` implements the
+  // 0.1x/0.5x/5x/10x sweep of Figure 4(a).
+  double validation_mean_ms = kDefaultValidationMs;
+  double validation_spread = 0.2;
+  double validation_scale = 1.0;
+
+  // Per-hop protocol overhead. The paper's δ(u,v) "includes ... and
+  // protocol-specific message exchange overheads (e.g., inv, getdata
+  // exchange)" (§2.1): relaying a block over a TCP connection costs the
+  // INV -> GETDATA -> BLOCK round trips, i.e. about three one-way link
+  // traversals. edge_delay_ms multiplies the propagation latency by this
+  // factor; link_ms stays the pure one-way latency (used by the theory
+  // experiments and the explicit-handshake gossip engine).
+  double handshake_factor = 3.0;
+
+  // Transmission model. The paper's default assumes blocks are small relative
+  // to bandwidth (block_size_kb = 0 disables the term). The bandwidth
+  // heterogeneity ablation draws per-node bandwidth log-uniformly from
+  // [bandwidth_min_mbps, bandwidth_max_mbps] (Croman et al.: 3-186 Mbit/s).
+  double block_size_kb = 0.0;
+  bool heterogeneous_bandwidth = false;
+  double bandwidth_min_mbps = 3.0;
+  double bandwidth_max_mbps = 186.0;
+  double bandwidth_default_mbps = 33.0;
+};
+
+class Network {
+ public:
+  // Builds a network of options.n nodes: regions sampled from the bitnodes
+  // mix (or coordinates embedded uniformly), validation/bandwidth drawn per
+  // node, hash power initialized uniform. Deterministic in options.seed.
+  static Network build(const NetworkOptions& options);
+
+  std::size_t size() const { return profiles_->size(); }
+  const NodeProfile& profile(NodeId v) const { return (*profiles_)[v]; }
+  const std::vector<NodeProfile>& profiles() const { return *profiles_; }
+  // Mutable access for hash-power assignment and scenario setup.
+  std::vector<NodeProfile>& mutable_profiles() { return *profiles_; }
+
+  double link_ms(NodeId u, NodeId v) const { return latency_->link_ms(u, v); }
+
+  // Full per-edge block delay: propagation + transmission (0 when block size
+  // is 0 or bandwidth infinite).
+  double edge_delay_ms(NodeId u, NodeId v) const;
+
+  double validation_ms(NodeId v) const { return (*profiles_)[v].validation_ms; }
+
+  const NetworkOptions& options() const { return options_; }
+  const LatencyModel& latency_model() const { return *latency_; }
+
+  // Replaces the latency model, e.g. wrapping it in PairClassScaledModel for
+  // the Figure 4(b) mining-pool scenario. The replacement must be built over
+  // this network's profiles.
+  void set_latency_model(std::unique_ptr<LatencyModel> model);
+
+  // Convenience for decorators: a GeoLatencyModel over this network's
+  // profiles with this network's seed/jitter.
+  std::unique_ptr<LatencyModel> make_geo_model() const;
+
+ private:
+  Network(std::shared_ptr<std::vector<NodeProfile>> profiles,
+          std::unique_ptr<LatencyModel> latency, NetworkOptions options);
+
+  // shared_ptr keeps the profile storage at a stable address so latency
+  // models can hold a raw pointer across Network moves.
+  std::shared_ptr<std::vector<NodeProfile>> profiles_;
+  std::unique_ptr<LatencyModel> latency_;
+  NetworkOptions options_;
+};
+
+}  // namespace perigee::net

@@ -1,0 +1,156 @@
+#include "net/topology.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace perigee::net {
+
+Topology::Topology(std::size_t n, TopologyLimits limits)
+    : limits_(limits),
+      out_(n),
+      in_counts_(n, 0),
+      adj_(n),
+      infra_(n) {
+  PERIGEE_ASSERT(limits_.out_cap > 0);
+  PERIGEE_ASSERT(limits_.in_cap >= 0);
+}
+
+bool Topology::connect(NodeId u, NodeId v) {
+  PERIGEE_ASSERT(u < size() && v < size());
+  if (u == v) return false;
+  if (out_full(u)) return false;
+  if (in_full(v)) return false;  // v declines: incoming slots exhausted
+  if (are_adjacent(u, v)) return false;
+  out_[u].push_back(v);
+  ++in_counts_[v];
+  adj_add(u, v, -1.0);
+  return true;
+}
+
+void Topology::disconnect(NodeId u, NodeId v) {
+  PERIGEE_ASSERT(u < size() && v < size());
+  auto& list = out_[u];
+  auto it = std::find(list.begin(), list.end(), v);
+  PERIGEE_ASSERT_MSG(it != list.end(), "disconnect of non-existent edge");
+  list.erase(it);
+  PERIGEE_ASSERT(in_counts_[v] > 0);
+  --in_counts_[v];
+  adj_remove(u, v);
+}
+
+void Topology::disconnect_all(NodeId v) {
+  PERIGEE_ASSERT(v < size());
+  // Outgoing edges of v.
+  while (!out_[v].empty()) disconnect(v, out_[v].back());
+  // Incoming edges: collect dialers first (disconnect mutates adjacency).
+  std::vector<NodeId> dialers;
+  for (const auto& link : adj_[v]) {
+    if (!link.is_infra() && has_out(link.peer, v)) dialers.push_back(link.peer);
+  }
+  for (NodeId u : dialers) disconnect(u, v);
+}
+
+bool Topology::add_infra_edge(NodeId u, NodeId v, double latency_ms) {
+  PERIGEE_ASSERT(u < size() && v < size());
+  PERIGEE_ASSERT(latency_ms >= 0.0);
+  if (u == v || are_adjacent(u, v)) return false;
+  infra_[u].emplace_back(v, latency_ms);
+  infra_[v].emplace_back(u, latency_ms);
+  adj_add(u, v, latency_ms);
+  return true;
+}
+
+bool Topology::has_out(NodeId u, NodeId v) const {
+  const auto& list = out_[u];
+  return std::find(list.begin(), list.end(), v) != list.end();
+}
+
+bool Topology::are_adjacent(NodeId u, NodeId v) const {
+  // adj_ is the deduplicated union, so one lookup suffices.
+  const auto& list = adj_[u];
+  return std::any_of(list.begin(), list.end(),
+                     [v](const Link& l) { return l.peer == v; });
+}
+
+std::optional<double> Topology::infra_latency(NodeId u, NodeId v) const {
+  for (const auto& [peer, ms] : infra_[u]) {
+    if (peer == v) return ms;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::pair<NodeId, NodeId>> Topology::p2p_edges() const {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId u = 0; u < size(); ++u) {
+    for (NodeId v : out_[u]) edges.emplace_back(u, v);
+  }
+  return edges;
+}
+
+std::vector<std::pair<NodeId, NodeId>> Topology::infra_edges() const {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId u = 0; u < size(); ++u) {
+    for (const auto& [v, ms] : infra_[u]) {
+      if (u < v) edges.emplace_back(u, v);
+    }
+  }
+  return edges;
+}
+
+std::size_t Topology::num_p2p_edges() const {
+  std::size_t n = 0;
+  for (const auto& list : out_) n += list.size();
+  return n;
+}
+
+void Topology::adj_add(NodeId a, NodeId b, double infra_ms) {
+  adj_[a].push_back(Link{b, infra_ms});
+  adj_[b].push_back(Link{a, infra_ms});
+}
+
+void Topology::adj_remove(NodeId a, NodeId b) {
+  auto erase_one = [](std::vector<Link>& list, NodeId peer) {
+    auto it = std::find_if(list.begin(), list.end(),
+                           [peer](const Link& l) { return l.peer == peer; });
+    PERIGEE_ASSERT(it != list.end());
+    list.erase(it);
+  };
+  erase_one(adj_[a], b);
+  erase_one(adj_[b], a);
+}
+
+void Topology::validate() const {
+  std::vector<int> in_check(size(), 0);
+  for (NodeId u = 0; u < size(); ++u) {
+    PERIGEE_ASSERT(out_count(u) <= limits_.out_cap);
+    for (NodeId v : out_[u]) {
+      PERIGEE_ASSERT(v < size());
+      PERIGEE_ASSERT(v != u);
+      ++in_check[v];
+      // No reverse p2p edge and no duplicate.
+      PERIGEE_ASSERT(!has_out(v, u));
+      PERIGEE_ASSERT(std::count(out_[u].begin(), out_[u].end(), v) == 1);
+      PERIGEE_ASSERT(!infra_latency(u, v).has_value());
+    }
+  }
+  for (NodeId v = 0; v < size(); ++v) {
+    PERIGEE_ASSERT(in_check[v] == in_counts_[v]);
+    PERIGEE_ASSERT(in_counts_[v] <= limits_.in_cap);
+    // Adjacency must be exactly out + in + infra, duplicate-free.
+    std::vector<NodeId> expect;
+    for (NodeId w : out_[v]) expect.push_back(w);
+    for (NodeId u = 0; u < size(); ++u) {
+      if (has_out(u, v)) expect.push_back(u);
+    }
+    for (const auto& [w, ms] : infra_[v]) expect.push_back(w);
+    std::vector<NodeId> got;
+    for (const auto& l : adj_[v]) got.push_back(l.peer);
+    std::sort(expect.begin(), expect.end());
+    std::sort(got.begin(), got.end());
+    PERIGEE_ASSERT(expect == got);
+    PERIGEE_ASSERT(std::adjacent_find(got.begin(), got.end()) == got.end());
+  }
+}
+
+}  // namespace perigee::net

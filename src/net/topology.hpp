@@ -1,0 +1,96 @@
+// Topology: the evolving p2p connection graph (paper §2.1).
+//
+// Each node maintains up to `out_cap` outgoing connections (Bitcoin: 8) and
+// accepts up to `in_cap` incoming connections (paper: 20); a node whose
+// incoming slots are full declines further requests and the dialer must pick
+// another peer. Communication over an established connection is
+// bidirectional, so the relay adjacency of a node is the union of its
+// outgoing, incoming, and infrastructure (relay-overlay) links.
+//
+// Infrastructure links model §5.4's fast block-distribution network: they are
+// installed by the scenario (not by the protocol), do not count against
+// either degree cap, and carry their own latency override.
+#pragma once
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "net/types.hpp"
+
+namespace perigee::net {
+
+struct TopologyLimits {
+  int out_cap = kDefaultOutDegree;
+  int in_cap = kDefaultInCap;
+};
+
+class Topology {
+ public:
+  // One adjacency entry: a neighbor plus, for infra links, the latency
+  // override in ms (negative == ordinary p2p link, use the Network's δ).
+  struct Link {
+    NodeId peer;
+    double infra_ms;  // < 0 for p2p links
+    bool is_infra() const { return infra_ms >= 0.0; }
+  };
+
+  explicit Topology(std::size_t n, TopologyLimits limits = {});
+
+  std::size_t size() const { return out_.size(); }
+  const TopologyLimits& limits() const { return limits_; }
+
+  // Establishes the outgoing connection u -> v. Returns false (and changes
+  // nothing) if u == v, the pair is already adjacent in any direction or
+  // layer, u's outgoing slots are full, or v declines (incoming cap).
+  bool connect(NodeId u, NodeId v);
+
+  // Tears down the outgoing connection u -> v (must exist).
+  void disconnect(NodeId u, NodeId v);
+
+  // Tears down every p2p connection touching v, in both directions (infra
+  // links are left in place). Models a node leaving the network (churn).
+  void disconnect_all(NodeId v);
+
+  // Installs an undirected infrastructure link with explicit latency.
+  // Returns false if the pair is already adjacent.
+  bool add_infra_edge(NodeId u, NodeId v, double latency_ms);
+
+  bool has_out(NodeId u, NodeId v) const;
+  bool are_adjacent(NodeId u, NodeId v) const;
+  std::optional<double> infra_latency(NodeId u, NodeId v) const;
+
+  int out_count(NodeId v) const { return static_cast<int>(out_[v].size()); }
+  int in_count(NodeId v) const { return in_counts_[v]; }
+  bool in_full(NodeId v) const { return in_counts_[v] >= limits_.in_cap; }
+  bool out_full(NodeId v) const { return out_count(v) >= limits_.out_cap; }
+
+  // Outgoing neighbor list of v (insertion order preserved).
+  const std::vector<NodeId>& out(NodeId v) const { return out_[v]; }
+
+  // Full relay adjacency of v: outgoing + incoming + infra, duplicate-free.
+  const std::vector<Link>& adjacency(NodeId v) const { return adj_[v]; }
+
+  // All unique undirected p2p edges (u < v not guaranteed; each edge once,
+  // oriented from the dialer). Infra edges excluded.
+  std::vector<std::pair<NodeId, NodeId>> p2p_edges() const;
+  std::vector<std::pair<NodeId, NodeId>> infra_edges() const;
+
+  std::size_t num_p2p_edges() const;
+
+  // Aborts if any internal invariant is violated (degree caps, adjacency
+  // symmetry, duplicate-freeness). Tests call this after mutation storms.
+  void validate() const;
+
+ private:
+  void adj_add(NodeId a, NodeId b, double infra_ms);
+  void adj_remove(NodeId a, NodeId b);
+
+  TopologyLimits limits_;
+  std::vector<std::vector<NodeId>> out_;   // directed p2p: dialer -> acceptor
+  std::vector<int> in_counts_;
+  std::vector<std::vector<Link>> adj_;     // union adjacency with metadata
+  std::vector<std::vector<std::pair<NodeId, double>>> infra_;
+};
+
+}  // namespace perigee::net

@@ -1,0 +1,30 @@
+// Fundamental identifiers and protocol-wide constants (paper §2.1, §5.1).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace perigee::net {
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+using BlockId = std::uint64_t;
+
+// Bitcoin-like connection limits used throughout the paper's evaluation.
+inline constexpr int kDefaultOutDegree = 8;   // dout: outgoing connections
+inline constexpr int kDefaultInCap = 20;      // din:  incoming connection cap
+
+// Perigee round parameters (paper §4, §5.1).
+inline constexpr int kDefaultKeep = 6;        // dv: retained neighbors
+inline constexpr int kDefaultExplore = 2;     // ev: random exploration slots
+inline constexpr int kDefaultBlocksPerRound = 100;  // |B| for Vanilla/Subset
+
+// Scoring percentile: neighbors are rated by the 90th percentile of their
+// relative delivery times.
+inline constexpr double kScorePercentile = 0.90;
+
+// Default mean block validation time (paper §5.1: 50 ms).
+inline constexpr double kDefaultValidationMs = 50.0;
+
+}  // namespace perigee::net

@@ -1,0 +1,116 @@
+#include "net/vivaldi.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace perigee::net {
+namespace {
+
+double norm(const std::array<double, 8>& a, const std::array<double, 8>& b,
+            int dim) {
+  double s2 = 0;
+  for (int i = 0; i < dim; ++i) {
+    const double d = a[static_cast<std::size_t>(i)] -
+                     b[static_cast<std::size_t>(i)];
+    s2 += d * d;
+  }
+  return std::sqrt(s2);
+}
+
+}  // namespace
+
+VivaldiSystem::VivaldiSystem(std::size_t n, VivaldiParams params)
+    : params_(params), coords_(n), errors_(n, 1.0) {
+  PERIGEE_ASSERT(params_.dim >= 1 && params_.dim <= 8);
+  PERIGEE_ASSERT(params_.ce > 0 && params_.ce <= 1);
+  PERIGEE_ASSERT(params_.cc > 0 && params_.cc <= 1);
+  for (auto& c : coords_) c.fill(0.0);
+}
+
+void VivaldiSystem::observe(NodeId self, NodeId /*peer*/, double rtt_ms,
+                            double peer_error,
+                            const std::array<double, 8>& peer_coords) {
+  PERIGEE_ASSERT(self < coords_.size());
+  PERIGEE_ASSERT(rtt_ms > 0);
+  auto& x = coords_[self];
+  double dist = norm(x, peer_coords, params_.dim);
+
+  // Sample confidence: balance of the two nodes' current error estimates.
+  const double denom = errors_[self] + peer_error;
+  const double w = denom > 0 ? errors_[self] / denom : 0.5;
+
+  // Update local error toward this sample's relative error.
+  const double es = std::abs(dist - rtt_ms) / rtt_ms;
+  errors_[self] = std::clamp(es * params_.ce * w +
+                                 errors_[self] * (1.0 - params_.ce * w),
+                             0.0, 10.0);
+
+  // Move along the unit vector away from (or toward) the peer. Coincident
+  // coordinates (the all-zero start) get a deterministic kick direction.
+  std::array<double, 8> dir{};
+  if (dist > 1e-9) {
+    for (int i = 0; i < params_.dim; ++i) {
+      dir[static_cast<std::size_t>(i)] =
+          (x[static_cast<std::size_t>(i)] -
+           peer_coords[static_cast<std::size_t>(i)]) /
+          dist;
+    }
+  } else {
+    dir[static_cast<std::size_t>(self % static_cast<NodeId>(params_.dim))] =
+        1.0;
+    dist = 0.0;
+  }
+  const double delta = params_.cc * w;
+  const double force = rtt_ms - dist;  // positive: too close, push away
+  for (int i = 0; i < params_.dim; ++i) {
+    x[static_cast<std::size_t>(i)] +=
+        delta * force * dir[static_cast<std::size_t>(i)];
+  }
+}
+
+void VivaldiSystem::run(const Network& network, util::Rng& rng) {
+  PERIGEE_ASSERT(network.size() == coords_.size());
+  const std::size_t n = coords_.size();
+  std::vector<NodeId> order(n);
+  for (NodeId v = 0; v < n; ++v) order[v] = v;
+  for (int round = 0; round < params_.rounds; ++round) {
+    rng.shuffle(order);
+    for (NodeId self : order) {
+      for (int p = 0; p < params_.probes_per_round; ++p) {
+        auto peer = static_cast<NodeId>(rng.uniform_index(n));
+        if (peer == self) continue;
+        // Probe RTT = 2x one-way; Vivaldi conventionally works on RTTs but
+        // any consistent scale embeds equally well.
+        const double rtt = 2.0 * network.link_ms(self, peer);
+        observe(self, peer, rtt, errors_[peer], coords_[peer]);
+      }
+    }
+  }
+}
+
+double VivaldiSystem::estimated_distance(NodeId u, NodeId v) const {
+  PERIGEE_ASSERT(u < coords_.size() && v < coords_.size());
+  return norm(coords_[u], coords_[v], params_.dim);
+}
+
+double VivaldiSystem::mean_relative_error(const Network& network,
+                                          util::Rng& rng,
+                                          std::size_t samples) const {
+  PERIGEE_ASSERT(samples > 0);
+  const std::size_t n = coords_.size();
+  double total = 0;
+  std::size_t counted = 0;
+  for (std::size_t s = 0; s < samples; ++s) {
+    const auto u = static_cast<NodeId>(rng.uniform_index(n));
+    const auto v = static_cast<NodeId>(rng.uniform_index(n));
+    if (u == v) continue;
+    const double truth = 2.0 * network.link_ms(u, v);
+    total += std::abs(estimated_distance(u, v) - truth) / truth;
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : total / static_cast<double>(counted);
+}
+
+}  // namespace perigee::net

@@ -1,0 +1,43 @@
+// Fast per-block broadcast engine (paper §2.1 dynamics).
+//
+// When a node u mines or finishes validating a block it immediately starts
+// relaying to every adjacent node v, the copy arriving after δ(u,v). Arrival
+// times therefore satisfy
+//   arrival(v)  = min over adjacent u of ready(u) + δ(u,v)
+//   ready(u)    = arrival(u) + Δu          (the miner skips validation)
+// which a Dijkstra-style relaxation computes exactly in O(E log V).
+#pragma once
+
+#include <vector>
+
+#include "net/network.hpp"
+#include "net/topology.hpp"
+
+namespace perigee::sim {
+
+struct BroadcastResult {
+  net::NodeId miner = net::kInvalidNode;
+  // Time (ms after mining) each node first holds the block; +inf if
+  // unreachable; arrival[miner] == 0.
+  std::vector<double> arrival;
+  // Time each node starts relaying: arrival + validation (miner: 0).
+  std::vector<double> ready;
+};
+
+BroadcastResult simulate_broadcast(const net::Topology& topology,
+                                   const net::Network& network,
+                                   net::NodeId miner);
+
+// δ used by the engine for a specific adjacency link (infra override or the
+// network's edge delay). Exposed so observation collection and tests use the
+// exact same edge costs.
+double link_delay_ms(const net::Topology::Link& link, net::NodeId from,
+                     const net::Network& network);
+
+// Time at which u's copy of the block reaches v (u adjacent to v):
+// ready[u] + δ(u,v); +inf if u never got the block.
+double delivery_time(const BroadcastResult& result,
+                     const net::Topology::Link& link_from_v,
+                     net::NodeId v, const net::Network& network);
+
+}  // namespace perigee::sim

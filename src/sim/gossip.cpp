@@ -1,0 +1,128 @@
+#include "sim/gossip.hpp"
+
+#include <cmath>
+#include <queue>
+
+#include "sim/broadcast.hpp"
+#include "util/assert.hpp"
+#include "util/stats.hpp"
+
+namespace perigee::sim {
+namespace {
+
+enum class MsgType : std::uint8_t { Inv, Getdata, Block };
+
+struct Event {
+  double time;
+  MsgType type;
+  net::NodeId from;
+  net::NodeId to;
+
+  bool operator>(const Event& other) const { return time > other.time; }
+};
+
+// Control messages (INV, GETDATA) carry a hash, not the block: they pay the
+// propagation latency only, never the transmission term.
+double control_delay(const net::Topology& topology, const net::Network& network,
+                     net::NodeId u, net::NodeId v) {
+  if (auto infra = topology.infra_latency(u, v)) return *infra;
+  return network.link_ms(u, v);
+}
+
+double block_delay(const net::Topology& topology, const net::Network& network,
+                   net::NodeId u, net::NodeId v) {
+  if (auto infra = topology.infra_latency(u, v)) return *infra;
+  return network.edge_delay_ms(u, v);
+}
+
+}  // namespace
+
+GossipResult simulate_gossip(const net::Topology& topology,
+                             const net::Network& network, net::NodeId miner,
+                             const GossipConfig& config) {
+  PERIGEE_ASSERT(topology.size() == network.size());
+  PERIGEE_ASSERT(miner < network.size());
+  const std::size_t n = network.size();
+
+  GossipResult result;
+  result.miner = miner;
+  result.arrival.assign(n, util::kInf);
+  result.first_announce.assign(n, util::kInf);
+
+  std::vector<bool> has_block(n, false);
+  std::vector<bool> requested(n, false);
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue;
+
+  auto on_validated = [&](net::NodeId u, double t_ready) {
+    // Relay to every neighbor. Push mode sends the block itself; handshake
+    // mode announces with an INV.
+    for (const auto& link : topology.adjacency(u)) {
+      const net::NodeId v = link.peer;
+      if (config.mode == GossipConfig::Mode::Push) {
+        queue.push(Event{t_ready + block_delay(topology, network, u, v),
+                         MsgType::Block, u, v});
+      } else {
+        queue.push(Event{t_ready + control_delay(topology, network, u, v),
+                         MsgType::Inv, u, v});
+      }
+    }
+  };
+
+  auto record_announce = [&](net::NodeId v, net::NodeId u, double t) {
+    result.first_announce[v] = std::min(result.first_announce[v], t);
+    if (config.record_edge_times) {
+      result.edge_times.push_back(GossipEdgeTime{v, u, t});
+    }
+  };
+
+  auto accept_block = [&](net::NodeId v, double t) {
+    if (has_block[v]) return;
+    has_block[v] = true;
+    result.arrival[v] = t;
+    if (!network.profile(v).forwards) return;  // withholding node
+    on_validated(v, t + network.validation_ms(v));
+  };
+
+  // The miner holds its freshly mined block at t=0 and relays immediately
+  // (no validation of its own block).
+  has_block[miner] = true;
+  result.arrival[miner] = 0.0;
+  result.first_announce[miner] = 0.0;
+  on_validated(miner, 0.0);
+
+  while (!queue.empty()) {
+    const Event ev = queue.top();
+    queue.pop();
+    ++result.messages_processed;
+    switch (ev.type) {
+      case MsgType::Inv:
+        record_announce(ev.to, ev.from, ev.time);
+        if (!has_block[ev.to] && !requested[ev.to]) {
+          // Request from the first announcer only; honest senders always
+          // deliver, so no re-request timeout is modeled.
+          requested[ev.to] = true;
+          queue.push(Event{
+              ev.time + control_delay(topology, network, ev.to, ev.from),
+              MsgType::Getdata, ev.to, ev.from});
+        }
+        break;
+      case MsgType::Getdata:
+        // ev.to is the node holding the block (it sent the INV).
+        PERIGEE_ASSERT(has_block[ev.to]);
+        queue.push(Event{ev.time + block_delay(topology, network, ev.to,
+                                               ev.from),
+                         MsgType::Block, ev.to, ev.from});
+        break;
+      case MsgType::Block:
+        if (config.mode == GossipConfig::Mode::Push) {
+          record_announce(ev.to, ev.from, ev.time);
+        }
+        accept_block(ev.to, ev.time);
+        break;
+    }
+  }
+  return result;
+}
+
+}  // namespace perigee::sim

@@ -1,0 +1,85 @@
+#include "sim/rounds.hpp"
+
+#include <numeric>
+
+#include "sim/broadcast.hpp"
+#include "sim/gossip.hpp"
+#include "util/assert.hpp"
+
+namespace perigee::sim {
+
+RoundRunner::RoundRunner(const net::Network& network, net::Topology& topology,
+                         std::vector<std::unique_ptr<NeighborSelector>> selectors,
+                         int blocks_per_round, std::uint64_t seed,
+                         Engine engine)
+    : network_(&network),
+      topology_(&topology),
+      selectors_(std::move(selectors)),
+      blocks_per_round_(blocks_per_round),
+      engine_(engine),
+      sampler_(mining::AliasSampler::from_hash_power(network)),
+      miner_rng_(util::Rng(seed).split(0xB10C)),
+      update_rng_(util::Rng(seed).split(0x5E1E)) {
+  PERIGEE_ASSERT(topology_->size() == network_->size());
+  PERIGEE_ASSERT(selectors_.size() == network_->size());
+  PERIGEE_ASSERT(blocks_per_round_ > 0);
+  for (const auto& s : selectors_) PERIGEE_ASSERT(s != nullptr);
+}
+
+void RoundRunner::refresh_hash_power() {
+  sampler_ = mining::AliasSampler::from_hash_power(*network_);
+}
+
+void RoundRunner::run_round() {
+  obs_.begin_round(*topology_, static_cast<std::size_t>(blocks_per_round_));
+  for (int b = 0; b < blocks_per_round_; ++b) {
+    const auto miner = static_cast<net::NodeId>(sampler_.sample(miner_rng_));
+    if (engine_ == Engine::Fast) {
+      const BroadcastResult result =
+          simulate_broadcast(*topology_, *network_, miner);
+      if (block_hook_) block_hook_(result);
+      obs_.record_block(*topology_, *network_, result);
+    } else {
+      GossipConfig config;
+      config.mode = GossipConfig::Mode::InvGetdata;
+      config.record_edge_times = true;
+      const GossipResult result =
+          simulate_gossip(*topology_, *network_, miner, config);
+      if (block_hook_) {
+        // Present the gossip outcome through the fast engine's result shape
+        // so hooks (convergence tracking, tests) work with either engine.
+        BroadcastResult shim;
+        shim.miner = miner;
+        shim.arrival = result.arrival;
+        shim.ready = result.arrival;
+        for (net::NodeId v = 0; v < network_->size(); ++v) {
+          if (v != miner && std::isfinite(shim.ready[v])) {
+            shim.ready[v] += network_->validation_ms(v);
+          }
+        }
+        block_hook_(shim);
+      }
+      obs_.record_gossip_block(result);
+    }
+  }
+
+  std::vector<net::NodeId> order(topology_->size());
+  std::iota(order.begin(), order.end(), 0);
+  update_rng_.shuffle(order);
+
+  RoundContext ctx{obs_,        *topology_,  *network_,
+                   update_rng_, rounds_run_, addrman_};
+  for (net::NodeId v : order) {
+    selectors_[v]->on_round_end(v, ctx);
+  }
+  if (addrman_ != nullptr) {
+    addrman_->gossip_round(*topology_, update_rng_);
+  }
+  ++rounds_run_;
+}
+
+void RoundRunner::run_rounds(int count) {
+  for (int i = 0; i < count; ++i) run_round();
+}
+
+}  // namespace perigee::sim

@@ -1,0 +1,73 @@
+// Round runner (paper §4.1, Algorithm 1's outer loop).
+//
+// A round mines K blocks (miner drawn proportionally to hash power), collects
+// every node's observations, then executes the synchronous connection update
+// at all nodes in a freshly shuffled order.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "mining/sampler.hpp"
+#include "net/network.hpp"
+#include "net/topology.hpp"
+#include "sim/observations.hpp"
+#include "sim/selector.hpp"
+
+namespace perigee::sim {
+
+class RoundRunner {
+ public:
+  // Which simulation backs the observations: the fast analytic engine
+  // (default; δ(u,v) folds the handshake in) or the message-level gossip
+  // engine, where neighbors are scored by INV announcement times.
+  enum class Engine { Fast, Gossip };
+
+  // `selectors` holds one policy instance per node (index == NodeId), letting
+  // policies carry per-node state (UCB history) and letting experiments mix
+  // policies (incremental-deployment ablation). Selector and topology are
+  // borrowed; the caller keeps them alive.
+  RoundRunner(const net::Network& network, net::Topology& topology,
+              std::vector<std::unique_ptr<NeighborSelector>> selectors,
+              int blocks_per_round, std::uint64_t seed,
+              Engine engine = Engine::Fast);
+
+  // Mines one round of blocks and runs the update at every node.
+  void run_round();
+
+  void run_rounds(int count);
+
+  std::size_t rounds_run() const { return rounds_run_; }
+  const ObservationTable& observations() const { return obs_; }
+  net::Topology& topology() { return *topology_; }
+
+  // Rebuilds the miner sampler; call after mutating hash power mid-run.
+  void refresh_hash_power();
+
+  // Attaches a peer-discovery service: selectors explore from per-node
+  // address books, and one gossip exchange runs after each round's updates.
+  // The AddrMan is borrowed and must outlive the runner.
+  void set_addrman(net::AddrMan* addrman) { addrman_ = addrman; }
+
+  // Per-block hook (miner id, broadcast result); used by convergence
+  // tracking and tests. Called before observations are recorded.
+  using BlockHook = std::function<void(const BroadcastResult&)>;
+  void set_block_hook(BlockHook hook) { block_hook_ = std::move(hook); }
+
+ private:
+  const net::Network* network_;
+  net::Topology* topology_;
+  std::vector<std::unique_ptr<NeighborSelector>> selectors_;
+  int blocks_per_round_;
+  Engine engine_;
+  mining::AliasSampler sampler_;
+  util::Rng miner_rng_;
+  util::Rng update_rng_;
+  ObservationTable obs_;
+  std::size_t rounds_run_ = 0;
+  BlockHook block_hook_;
+  net::AddrMan* addrman_ = nullptr;
+};
+
+}  // namespace perigee::sim

@@ -1,0 +1,47 @@
+// Extension point connecting the round runner to neighbor-selection
+// policies. Perigee's scoring methods (src/core) implement this interface;
+// static baselines use StaticSelector.
+#pragma once
+
+#include <cstddef>
+
+#include "net/addrman.hpp"
+#include "net/network.hpp"
+#include "net/topology.hpp"
+#include "sim/observations.hpp"
+#include "util/rng.hpp"
+
+namespace perigee::sim {
+
+struct RoundContext {
+  const ObservationTable& obs;
+  net::Topology& topology;
+  const net::Network& network;
+  util::Rng& rng;
+  std::size_t round_index;
+  // Non-null when the experiment runs under partial views: exploration must
+  // sample from each node's address book instead of the global node set.
+  const net::AddrMan* addrman = nullptr;
+};
+
+class NeighborSelector {
+ public:
+  virtual ~NeighborSelector() = default;
+
+  // Invoked once per node per round, after all blocks of the round have been
+  // observed. The implementation may rewire `ctx.topology` for node `self`
+  // (its own outgoing connections only).
+  virtual void on_round_end(net::NodeId self, RoundContext& ctx) = 0;
+
+  virtual const char* name() const = 0;
+};
+
+// Baseline policy: never rewires (random/geographic/Kademlia topologies stay
+// as built).
+class StaticSelector final : public NeighborSelector {
+ public:
+  void on_round_end(net::NodeId, RoundContext&) override {}
+  const char* name() const override { return "static"; }
+};
+
+}  // namespace perigee::sim

@@ -1,0 +1,61 @@
+// Baseline topology constructions (paper §3 and §5.1).
+//
+// All builders mutate a fresh Topology. Builders that model the Bitcoin
+// overlay (random, geographic, Kademlia) respect the dout/din caps carried by
+// the Topology; theory-model builders (Erdős–Rényi, geometric threshold) are
+// meant to be used with caps set to n.
+#pragma once
+
+#include <vector>
+
+#include "net/addrman.hpp"
+#include "net/network.hpp"
+#include "net/topology.hpp"
+#include "util/rng.hpp"
+
+namespace perigee::topo {
+
+// §3.1 random connection policy: every node dials `out_cap` peers sampled
+// uniformly from all nodes, re-sampling when a peer declines. Nodes dial in
+// a random order.
+void build_random(net::Topology& topology, util::Rng& rng);
+
+// §3.2 geography-aware policy: a fraction of each node's connections go to
+// random same-region peers, the rest to random peers anywhere.
+void build_geo_clusters(net::Topology& topology, const net::Network& network,
+                        util::Rng& rng, double local_fraction = 0.5);
+
+// Kademlia/Kadcast-style structured overlay (§5 baseline): nodes get random
+// ids; each node dials one random member of each XOR-distance bucket, widest
+// buckets first, until its outgoing slots are full.
+void build_kademlia(net::Topology& topology, util::Rng& rng, int id_bits = 30);
+
+// §3.3 geometric graph: connect every pair with link latency below
+// `threshold_ms`. Theory model — pass a Topology with caps of size n.
+void build_geometric_threshold(net::Topology& topology,
+                               const net::Network& network,
+                               double threshold_ms);
+
+// Degree-capped geometric heuristic: each node dials its nearest peers by
+// link latency plus `random_links` random long links for connectivity (an
+// oracle upper-bound for what Perigee can learn).
+void build_k_nearest(net::Topology& topology, const net::Network& network,
+                     util::Rng& rng, int random_links = 2);
+
+// Theorem-1 model: Erdős–Rényi with edge probability p. Theory model — pass
+// a Topology with caps of size n.
+void build_erdos_renyi(net::Topology& topology, double p, util::Rng& rng);
+
+// Dials `count` random outgoing connections for a single node (used by churn
+// and by selectors' exploration); returns how many were established.
+int dial_random_peers(net::Topology& topology, net::NodeId dialer, int count,
+                      util::Rng& rng, int max_attempts_per_peer = 64);
+
+// Partial-view variant: candidates are sampled from the dialer's address
+// book instead of the global node set. Returns how many connections were
+// established (possibly fewer than `count` for a small or stale book).
+int dial_peers_from_book(net::Topology& topology, net::NodeId dialer,
+                         int count, const net::AddrMan& addrman,
+                         util::Rng& rng, int max_attempts_per_peer = 64);
+
+}  // namespace perigee::topo

@@ -1,0 +1,55 @@
+#include "topo/coordinates.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "topo/builders.hpp"
+#include "util/assert.hpp"
+
+namespace perigee::topo {
+
+void build_coordinate_greedy(net::Topology& topology,
+                             const net::Network& network,
+                             const net::VivaldiSystem& vivaldi,
+                             util::Rng& rng, int random_links) {
+  PERIGEE_ASSERT(topology.size() == network.size());
+  PERIGEE_ASSERT(random_links >= 0 &&
+                 random_links < topology.limits().out_cap);
+  const std::size_t n = network.size();
+  std::vector<net::NodeId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+
+  std::vector<net::NodeId> candidates;
+  candidates.reserve(n);
+  for (net::NodeId v : order) {
+    candidates.clear();
+    for (net::NodeId u = 0; u < n; ++u) {
+      if (u != v) candidates.push_back(u);
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [&](net::NodeId a, net::NodeId b) {
+                return vivaldi.estimated_distance(v, a) <
+                       vivaldi.estimated_distance(v, b);
+              });
+    const int near_budget = topology.limits().out_cap - random_links;
+    for (net::NodeId u : candidates) {
+      if (topology.out_count(v) >= near_budget) break;
+      topology.connect(v, u);
+    }
+    dial_random_peers(topology, v,
+                      topology.limits().out_cap - topology.out_count(v), rng);
+  }
+}
+
+void build_coordinate_greedy(net::Topology& topology,
+                             const net::Network& network, util::Rng& rng,
+                             const net::VivaldiParams& params,
+                             int random_links) {
+  net::VivaldiSystem vivaldi(network.size(), params);
+  util::Rng probe_rng = rng.split(0x71BA1D1);
+  vivaldi.run(network, probe_rng);
+  build_coordinate_greedy(topology, network, vivaldi, rng, random_links);
+}
+
+}  // namespace perigee::topo

@@ -1,0 +1,31 @@
+// Coordinate-greedy baseline: measure-first, connect-nearest.
+//
+// Runs Vivaldi to estimate network coordinates, then each node dials its
+// nearest peers *by estimated distance* (plus random long links for
+// connectivity, mirroring build_k_nearest). This is the strongest
+// explicit-measurement competitor to Perigee: unlike the geographic
+// heuristic it reflects real latencies, but like all coordinate schemes it
+// sees only propagation delay — validation speed, bandwidth and hash-power
+// placement stay invisible, and in deployment the probes it trusts are
+// spoofable.
+#pragma once
+
+#include "net/network.hpp"
+#include "net/topology.hpp"
+#include "net/vivaldi.hpp"
+#include "util/rng.hpp"
+
+namespace perigee::topo {
+
+void build_coordinate_greedy(net::Topology& topology,
+                             const net::Network& network,
+                             const net::VivaldiSystem& vivaldi, util::Rng& rng,
+                             int random_links = 2);
+
+// Convenience: run Vivaldi with `params` and build in one call.
+void build_coordinate_greedy(net::Topology& topology,
+                             const net::Network& network, util::Rng& rng,
+                             const net::VivaldiParams& params = {},
+                             int random_links = 2);
+
+}  // namespace perigee::topo

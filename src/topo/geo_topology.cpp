@@ -1,0 +1,48 @@
+#include <array>
+#include <numeric>
+
+#include "topo/builders.hpp"
+#include "util/assert.hpp"
+
+namespace perigee::topo {
+
+void build_geo_clusters(net::Topology& topology, const net::Network& network,
+                        util::Rng& rng, double local_fraction) {
+  PERIGEE_ASSERT(topology.size() == network.size());
+  PERIGEE_ASSERT(local_fraction >= 0.0 && local_fraction <= 1.0);
+
+  // Bucket nodes by region for in-cluster sampling.
+  std::array<std::vector<net::NodeId>, net::kNumRegions> by_region;
+  for (net::NodeId v = 0; v < network.size(); ++v) {
+    by_region[static_cast<std::size_t>(network.profile(v).region)].push_back(v);
+  }
+
+  std::vector<net::NodeId> order(topology.size());
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+
+  for (net::NodeId v : order) {
+    const auto& local =
+        by_region[static_cast<std::size_t>(network.profile(v).region)];
+    const int total = topology.limits().out_cap - topology.out_count(v);
+    const int want_local =
+        static_cast<int>(local_fraction * static_cast<double>(total) + 0.5);
+    int made_local = 0;
+    // In-cluster dials; a region that is too small simply yields fewer local
+    // edges and the remainder becomes global.
+    if (local.size() > 1) {
+      for (int i = 0; i < want_local; ++i) {
+        for (int attempt = 0; attempt < 64; ++attempt) {
+          const net::NodeId target = local[rng.uniform_index(local.size())];
+          if (topology.connect(v, target)) {
+            ++made_local;
+            break;
+          }
+        }
+      }
+    }
+    dial_random_peers(topology, v, total - made_local, rng);
+  }
+}
+
+}  // namespace perigee::topo

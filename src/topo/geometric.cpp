@@ -1,0 +1,59 @@
+#include <algorithm>
+#include <numeric>
+
+#include "topo/builders.hpp"
+#include "util/assert.hpp"
+
+namespace perigee::topo {
+
+void build_geometric_threshold(net::Topology& topology,
+                               const net::Network& network,
+                               double threshold_ms) {
+  PERIGEE_ASSERT(topology.size() == network.size());
+  PERIGEE_ASSERT(threshold_ms > 0);
+  const std::size_t n = network.size();
+  for (net::NodeId u = 0; u < n; ++u) {
+    for (net::NodeId v = u + 1; v < n; ++v) {
+      if (network.link_ms(u, v) < threshold_ms) topology.connect(u, v);
+    }
+  }
+}
+
+void build_k_nearest(net::Topology& topology, const net::Network& network,
+                     util::Rng& rng, int random_links) {
+  PERIGEE_ASSERT(topology.size() == network.size());
+  PERIGEE_ASSERT(random_links >= 0 &&
+                 random_links < topology.limits().out_cap);
+  const std::size_t n = network.size();
+  std::vector<net::NodeId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+
+  std::vector<net::NodeId> candidates;
+  candidates.reserve(n);
+  for (net::NodeId v : order) {
+    candidates.clear();
+    for (net::NodeId u = 0; u < n; ++u) {
+      if (u != v) candidates.push_back(u);
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [&](net::NodeId a, net::NodeId b) {
+                return network.link_ms(v, a) < network.link_ms(v, b);
+              });
+    // A pure nearest-neighbor graph fragments into latency clusters (the
+    // very failure Figure 1(a) illustrates for the opposite extreme), so a
+    // few random long links keep the overlay connected — mirroring Perigee's
+    // exploration slots.
+    const int near_budget = topology.limits().out_cap - random_links;
+    // Walk outward from the nearest peer; declines (full incoming slots)
+    // push the node to slightly farther peers, as they would in practice.
+    for (net::NodeId u : candidates) {
+      if (topology.out_count(v) >= near_budget) break;
+      topology.connect(v, u);
+    }
+    dial_random_peers(topology, v,
+                      topology.limits().out_cap - topology.out_count(v), rng);
+  }
+}
+
+}  // namespace perigee::topo

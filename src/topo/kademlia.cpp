@@ -1,0 +1,77 @@
+#include <algorithm>
+#include <bit>
+#include <numeric>
+
+#include "topo/builders.hpp"
+#include "util/assert.hpp"
+
+namespace perigee::topo {
+namespace {
+
+// Index of the highest set bit; bucket of a pair (u, v) is the bit length of
+// id_u XOR id_v, so bucket b holds peers at XOR distance [2^b, 2^(b+1)).
+int bucket_of(std::uint64_t x) {
+  PERIGEE_ASSERT(x != 0);
+  return 63 - std::countl_zero(x);
+}
+
+}  // namespace
+
+void build_kademlia(net::Topology& topology, util::Rng& rng, int id_bits) {
+  PERIGEE_ASSERT(id_bits >= 4 && id_bits <= 62);
+  const std::size_t n = topology.size();
+
+  // Random distinct ids. With id_bits >= 30 and n <= ~1e6 collisions are
+  // vanishingly rare; we still re-draw on collision for correctness.
+  std::vector<std::uint64_t> ids(n);
+  {
+    std::vector<std::uint64_t> seen;
+    seen.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      std::uint64_t id;
+      do {
+        id = rng.uniform_u64(0, (1ULL << id_bits) - 1);
+      } while (std::find(seen.begin(), seen.end(), id) != seen.end());
+      seen.push_back(id);
+      ids[i] = id;
+    }
+  }
+
+  // Per node: peers grouped by XOR bucket.
+  std::vector<net::NodeId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+
+  std::vector<std::vector<net::NodeId>> buckets(
+      static_cast<std::size_t>(id_bits));
+  for (net::NodeId v : order) {
+    for (auto& b : buckets) b.clear();
+    for (net::NodeId u = 0; u < n; ++u) {
+      if (u == v) continue;
+      const int b = bucket_of(ids[u] ^ ids[v]);
+      buckets[static_cast<std::size_t>(b)].push_back(u);
+    }
+    // Dial one random member per bucket, widest (most distant) bucket first —
+    // Kademlia's routing table induces exactly this neighbor profile. If
+    // there are fewer non-empty buckets than slots, wrap around for a second
+    // member per bucket, and fall back to random peers at the very end.
+    const int want = topology.limits().out_cap - topology.out_count(v);
+    int made = 0;
+    for (int pass = 0; pass < 4 && made < want; ++pass) {
+      for (auto it = buckets.rbegin(); it != buckets.rend() && made < want;
+           ++it) {
+        if (it->empty()) continue;
+        for (int attempt = 0; attempt < 16; ++attempt) {
+          const net::NodeId target = (*it)[rng.uniform_index(it->size())];
+          if (topology.connect(v, target)) {
+            ++made;
+            break;
+          }
+        }
+      }
+    }
+    if (made < want) dial_random_peers(topology, v, want - made, rng);
+  }
+}
+
+}  // namespace perigee::topo

@@ -1,0 +1,66 @@
+#include <numeric>
+
+#include "topo/builders.hpp"
+#include "util/assert.hpp"
+
+namespace perigee::topo {
+
+int dial_random_peers(net::Topology& topology, net::NodeId dialer, int count,
+                      util::Rng& rng, int max_attempts_per_peer) {
+  const std::size_t n = topology.size();
+  int made = 0;
+  for (int i = 0; i < count; ++i) {
+    bool ok = false;
+    for (int attempt = 0; attempt < max_attempts_per_peer; ++attempt) {
+      const auto target =
+          static_cast<net::NodeId>(rng.uniform_index(n));
+      if (topology.connect(dialer, target)) {
+        ok = true;
+        break;
+      }
+    }
+    if (ok) ++made;
+  }
+  return made;
+}
+
+int dial_peers_from_book(net::Topology& topology, net::NodeId dialer,
+                         int count, const net::AddrMan& addrman,
+                         util::Rng& rng, int max_attempts_per_peer) {
+  int made = 0;
+  for (int i = 0; i < count; ++i) {
+    bool ok = false;
+    for (int attempt = 0; attempt < max_attempts_per_peer; ++attempt) {
+      const net::NodeId target = addrman.sample(dialer, rng);
+      if (target == net::kInvalidNode) break;  // empty book
+      if (topology.connect(dialer, target)) {
+        ok = true;
+        break;
+      }
+    }
+    if (ok) ++made;
+  }
+  return made;
+}
+
+void build_random(net::Topology& topology, util::Rng& rng) {
+  std::vector<net::NodeId> order(topology.size());
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+  for (net::NodeId v : order) {
+    dial_random_peers(topology, v,
+                      topology.limits().out_cap - topology.out_count(v), rng);
+  }
+}
+
+void build_erdos_renyi(net::Topology& topology, double p, util::Rng& rng) {
+  PERIGEE_ASSERT(p >= 0.0 && p <= 1.0);
+  const std::size_t n = topology.size();
+  for (net::NodeId u = 0; u < n; ++u) {
+    for (net::NodeId v = u + 1; v < n; ++v) {
+      if (rng.bernoulli(p)) topology.connect(u, v);
+    }
+  }
+}
+
+}  // namespace perigee::topo

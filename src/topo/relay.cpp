@@ -1,0 +1,36 @@
+#include "topo/relay.hpp"
+
+#include "util/assert.hpp"
+
+namespace perigee::topo {
+
+RelayNetwork install_relay_tree(net::Topology& topology, net::Network& network,
+                                const RelayConfig& config, util::Rng& rng) {
+  PERIGEE_ASSERT(topology.size() == network.size());
+  PERIGEE_ASSERT(config.members >= 2);
+  PERIGEE_ASSERT(config.members <= network.size());
+  PERIGEE_ASSERT(config.fanout >= 1);
+
+  RelayNetwork relay;
+  for (std::size_t idx : rng.sample_indices(network.size(), config.members)) {
+    relay.members.push_back(static_cast<net::NodeId>(idx));
+  }
+
+  auto& profiles = network.mutable_profiles();
+  for (net::NodeId v : relay.members) {
+    profiles[v].relay = true;
+    profiles[v].validation_ms *= config.validation_scale;
+  }
+
+  // Balanced `fanout`-ary tree over the member list: child i hangs off
+  // member (i-1)/fanout.
+  for (std::size_t i = 1; i < relay.members.size(); ++i) {
+    const std::size_t parent = (i - 1) / static_cast<std::size_t>(config.fanout);
+    const bool ok = topology.add_infra_edge(relay.members[parent],
+                                            relay.members[i], config.link_ms);
+    PERIGEE_ASSERT_MSG(ok, "relay tree edge collided with existing edge");
+  }
+  return relay;
+}
+
+}  // namespace perigee::topo

@@ -1,0 +1,33 @@
+// Fast block-distribution overlay (paper §5.4, bloXroute/FIBRE-like).
+//
+// A subset of nodes is wired into a low-latency tree carried as infra links;
+// members validate blocks faster (better hardware). The overlay exists in
+// addition to whatever p2p topology the protocol builds, and every algorithm
+// under comparison runs on top of it.
+#pragma once
+
+#include <vector>
+
+#include "net/network.hpp"
+#include "net/topology.hpp"
+#include "util/rng.hpp"
+
+namespace perigee::topo {
+
+struct RelayConfig {
+  std::size_t members = 100;       // tree size (paper: 100 nodes)
+  double link_ms = 5.0;            // per-hop latency inside the overlay
+  double validation_scale = 0.1;   // members validate at 10% of default
+  int fanout = 2;                  // tree arity
+};
+
+struct RelayNetwork {
+  std::vector<net::NodeId> members;  // tree order: members[0] is the root
+};
+
+// Selects random members, marks their profiles (relay flag, scaled
+// validation) and installs the tree's infra edges.
+RelayNetwork install_relay_tree(net::Topology& topology, net::Network& network,
+                                const RelayConfig& config, util::Rng& rng);
+
+}  // namespace perigee::topo

@@ -1,0 +1,69 @@
+#include "topo/spanner.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/assert.hpp"
+
+namespace perigee::topo {
+
+double cone_spanner_stretch_bound(int cones) {
+  PERIGEE_ASSERT(cones >= 7);
+  return 1.0 / (1.0 - 2.0 * std::sin(std::numbers::pi /
+                                     static_cast<double>(cones)));
+}
+
+void build_cone_spanner(net::Topology& topology, const net::Network& network,
+                        int cones, ConeGraphKind kind) {
+  PERIGEE_ASSERT(topology.size() == network.size());
+  PERIGEE_ASSERT(cones >= 3);
+  PERIGEE_ASSERT(topology.limits().out_cap >= cones);
+  const std::size_t n = network.size();
+  const double cone_angle =
+      2.0 * std::numbers::pi / static_cast<double>(cones);
+
+  std::vector<net::NodeId> best_peer(static_cast<std::size_t>(cones));
+  std::vector<double> best_key(static_cast<std::size_t>(cones));
+
+  for (net::NodeId v = 0; v < n; ++v) {
+    const auto& pv = network.profile(v).coords;
+    std::fill(best_peer.begin(), best_peer.end(), net::kInvalidNode);
+    std::fill(best_key.begin(), best_key.end(), 1e300);
+
+    for (net::NodeId u = 0; u < n; ++u) {
+      if (u == v) continue;
+      const auto& pu = network.profile(u).coords;
+      const double dx = pu[0] - pv[0];
+      const double dy = pu[1] - pv[1];
+      double angle = std::atan2(dy, dx);
+      if (angle < 0) angle += 2.0 * std::numbers::pi;
+      const auto cone = std::min<std::size_t>(
+          static_cast<std::size_t>(angle / cone_angle),
+          static_cast<std::size_t>(cones) - 1);
+
+      double key;
+      if (kind == ConeGraphKind::Yao) {
+        key = std::hypot(dx, dy);  // nearest point in the cone
+      } else {
+        // Theta: distance of u's projection onto the cone's bisector.
+        const double bisector =
+            (static_cast<double>(cone) + 0.5) * cone_angle;
+        key = dx * std::cos(bisector) + dy * std::sin(bisector);
+      }
+      if (key < best_key[cone]) {
+        best_key[cone] = key;
+        best_peer[cone] = u;
+      }
+    }
+
+    for (std::size_t c = 0; c < static_cast<std::size_t>(cones); ++c) {
+      if (best_peer[c] != net::kInvalidNode) {
+        // connect() refuses duplicates when the reverse cone edge already
+        // exists, which is fine — the undirected union is what relays.
+        topology.connect(v, best_peer[c]);
+      }
+    }
+  }
+}
+
+}  // namespace perigee::topo

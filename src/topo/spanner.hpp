@@ -1,0 +1,35 @@
+// Cone-based geometric spanners (Θ-graphs and Yao graphs).
+//
+// §3.3 of the paper notes the geometric threshold graph is not the only
+// order-optimal construction and cites the spanner literature (Chan et al.'s
+// doubling spanners). Θ/Yao graphs are the classic degree-bounded members of
+// that family for points in the plane: each node splits the directions
+// around it into k equal cones and keeps one outgoing edge per cone —
+//   Yao:   to the Euclidean-nearest point in the cone,
+//   Theta: to the point whose projection on the cone's bisector is shortest.
+// For k >= 7 both are t-spanners with stretch t = 1 / (1 - 2 sin(pi/k)),
+// with out-degree exactly k — unlike the threshold graph, whose degree grows
+// as log n.
+//
+// Requires a 2-D Euclidean-embedded Network (NetworkOptions::LatencyKind::
+// Euclidean with embed_dim == 2).
+#pragma once
+
+#include "net/network.hpp"
+#include "net/topology.hpp"
+
+namespace perigee::topo {
+
+enum class ConeGraphKind { Theta, Yao };
+
+// Adds one outgoing edge per non-empty cone per node. The Topology's
+// out_cap must be at least `cones` (in_cap is typically uncapped for theory
+// experiments).
+void build_cone_spanner(net::Topology& topology, const net::Network& network,
+                        int cones, ConeGraphKind kind);
+
+// Worst-case stretch bound of a k-cone spanner, 1/(1 - 2 sin(pi/k));
+// requires k >= 7 (below that the bound is vacuous).
+double cone_spanner_stretch_bound(int cones);
+
+}  // namespace perigee::topo

@@ -1,0 +1,32 @@
+// Lightweight always-on assertion macro.
+//
+// Simulation correctness depends on internal invariants (degree caps,
+// monotone event times, ...). These checks are cheap relative to the
+// simulation work, so they stay enabled in release builds.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace perigee::util {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "PERIGEE_ASSERT failed: %s\n  at %s:%d\n  %s\n", expr,
+               file, line, msg == nullptr ? "" : msg);
+  std::abort();
+}
+
+}  // namespace perigee::util
+
+#define PERIGEE_ASSERT(expr)                                              \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::perigee::util::assert_fail(#expr, __FILE__, __LINE__, nullptr);   \
+  } while (0)
+
+#define PERIGEE_ASSERT_MSG(expr, msg)                                     \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::perigee::util::assert_fail(#expr, __FILE__, __LINE__, (msg));     \
+  } while (0)

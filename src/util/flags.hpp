@@ -1,0 +1,55 @@
+// Minimal CLI flag parser for benches and examples.
+//
+// Flags are registered with defaults before parse(); "--name=value",
+// "--name value" and bare boolean "--name" forms are accepted. Unknown flags
+// are tolerated and reported (google-benchmark passes its own flags through
+// the same argv).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace perigee::util {
+
+class Flags {
+ public:
+  void add_int(const std::string& name, std::int64_t def,
+               const std::string& help);
+  void add_double(const std::string& name, double def, const std::string& help);
+  void add_string(const std::string& name, const std::string& def,
+                  const std::string& help);
+  void add_bool(const std::string& name, bool def, const std::string& help);
+
+  // Returns false (after printing usage) when --help was requested or a
+  // registered flag had an unparseable value.
+  bool parse(int argc, const char* const* argv);
+
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  const std::string& get_string(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+
+  const std::vector<std::string>& unknown() const { return unknown_; }
+  void print_usage(std::ostream& os) const;
+
+ private:
+  enum class Kind { Int, Double, String, Bool };
+  struct Entry {
+    Kind kind;
+    std::string help;
+    std::int64_t i = 0;
+    double d = 0;
+    std::string s;
+    bool b = false;
+  };
+  const Entry& lookup(const std::string& name, Kind kind) const;
+
+  std::map<std::string, Entry> entries_;
+  std::vector<std::string> unknown_;
+  std::string prog_ = "prog";
+};
+
+}  // namespace perigee::util

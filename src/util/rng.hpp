@@ -1,0 +1,196 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic choice in the library (node placement, jitter, miner
+// selection, exploration, ...) flows from a single experiment seed through
+// instances of Rng. We ship our own xoshiro256** implementation rather than
+// rely on std::mt19937 so that results are bit-identical across standard
+// library implementations.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace perigee::util {
+
+// SplitMix64: used to expand a 64-bit seed into xoshiro state, and as a
+// cheap stateless hash for deterministic per-pair jitter.
+constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Mixes several values into one 64-bit hash (order-sensitive).
+constexpr std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) {
+  return splitmix64(a ^ (0x9e3779b97f4a7c15ULL + (b << 6) + (b >> 2)));
+}
+
+// xoshiro256** by Blackman & Vigna; public-domain reference algorithm.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eedULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      x = splitmix64(x);
+      s = x;
+    }
+    // xoshiro must not be seeded with the all-zero state.
+    if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
+  }
+
+  // Derives an independent generator; `stream` identifies the consumer so
+  // adding a new consumer does not perturb the draws of existing ones.
+  Rng split(std::uint64_t stream) const {
+    return Rng(hash_combine(state_[0] ^ state_[3], stream));
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() { return next_u64(); }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    PERIGEE_ASSERT(lo <= hi);
+    return lo + (hi - lo) * uniform();
+  }
+
+  // Uniform integer in [lo, hi] (inclusive).
+  std::uint64_t uniform_u64(std::uint64_t lo, std::uint64_t hi) {
+    PERIGEE_ASSERT(lo <= hi);
+    const std::uint64_t range = hi - lo + 1;
+    if (range == 0) return next_u64();  // full 64-bit range
+    // Lemire-style rejection sampling for unbiased bounded draws.
+    std::uint64_t x = next_u64();
+    __uint128_t m = static_cast<__uint128_t>(x) * range;
+    auto lowbits = static_cast<std::uint64_t>(m);
+    if (lowbits < range) {
+      const std::uint64_t threshold = (0 - range) % range;
+      while (lowbits < threshold) {
+        x = next_u64();
+        m = static_cast<__uint128_t>(x) * range;
+        lowbits = static_cast<std::uint64_t>(m);
+      }
+    }
+    return lo + static_cast<std::uint64_t>(m >> 64);
+  }
+
+  int uniform_int(int lo, int hi) {
+    return lo + static_cast<int>(uniform_u64(0, static_cast<std::uint64_t>(hi - lo)));
+  }
+
+  std::size_t uniform_index(std::size_t n) {
+    PERIGEE_ASSERT(n > 0);
+    return static_cast<std::size_t>(uniform_u64(0, n - 1));
+  }
+
+  bool bernoulli(double p) { return uniform() < p; }
+
+  double exponential(double mean) {
+    PERIGEE_ASSERT(mean > 0);
+    double u;
+    do {
+      u = uniform();
+    } while (u <= 0.0);
+    return -mean * std::log(u);
+  }
+
+  // Box-Muller; one value per call (the pair's twin is discarded to keep the
+  // generator state a pure function of the number of calls).
+  double normal(double mean, double stddev) {
+    double u1;
+    do {
+      u1 = uniform();
+    } while (u1 <= 0.0);
+    const double u2 = uniform();
+    const double z =
+        std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+    return mean + stddev * z;
+  }
+
+  double lognormal(double mu, double sigma) {
+    return std::exp(normal(mu, sigma));
+  }
+
+  // Log-uniform over [lo, hi]; used for bandwidth heterogeneity.
+  double log_uniform(double lo, double hi) {
+    PERIGEE_ASSERT(lo > 0 && hi >= lo);
+    return std::exp(uniform(std::log(lo), std::log(hi)));
+  }
+
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[uniform_index(i)]);
+    }
+  }
+
+  // k distinct indices from [0, n); Floyd's algorithm, O(k) expected.
+  std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k) {
+    PERIGEE_ASSERT(k <= n);
+    std::vector<std::size_t> out;
+    out.reserve(k);
+    for (std::size_t j = n - k; j < n; ++j) {
+      const std::size_t t = static_cast<std::size_t>(uniform_u64(0, j));
+      if (std::find(out.begin(), out.end(), t) == out.end()) {
+        out.push_back(t);
+      } else {
+        out.push_back(j);
+      }
+    }
+    return out;
+  }
+
+  // Index draw proportional to non-negative weights (linear scan; use
+  // mining::AliasSampler for repeated draws from the same distribution).
+  std::size_t weighted_index(const std::vector<double>& weights) {
+    double total = 0;
+    for (double w : weights) {
+      PERIGEE_ASSERT(w >= 0);
+      total += w;
+    }
+    PERIGEE_ASSERT(total > 0);
+    double x = uniform() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      x -= weights[i];
+      if (x < 0) return i;
+    }
+    return weights.size() - 1;  // numerical edge: land on the last element
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace perigee::util

@@ -1,0 +1,38 @@
+// Console tables and CSV emission for bench/example output.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace perigee::util {
+
+// Formats a double with `prec` digits after the point; +inf renders as "inf".
+std::string fmt(double x, int prec = 1);
+
+// A right-aligned fixed-layout console table.
+//
+//   Table t({"node", "random", "perigee"});
+//   t.add_row({"100", fmt(512.3), fmt(343.1)});
+//   t.print(std::cout);
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  std::size_t rows() const { return rows_.size(); }
+
+  void print(std::ostream& os) const;
+  // Comma-separated with the same header/rows (no quoting; cells must not
+  // contain commas).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Prints "== title ==" section banners uniformly across benches.
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace perigee::util

@@ -1,0 +1,118 @@
+// Node churn (paper §6 future work): nodes leave and join between rounds;
+// Perigee must repair and re-learn.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/perigee.hpp"
+#include "metrics/eval.hpp"
+#include "mining/hashpower.hpp"
+#include "sim/rounds.hpp"
+#include "topo/builders.hpp"
+#include "util/stats.hpp"
+
+namespace perigee {
+namespace {
+
+net::Network make_network(std::size_t n, std::uint64_t seed) {
+  net::NetworkOptions options;
+  options.n = n;
+  options.seed = seed;
+  return net::Network::build(options);
+}
+
+TEST(Churn, NetworkSurvivesDepartures) {
+  const std::size_t n = 200;
+  auto network = make_network(n, 11);
+  net::Topology t(n);
+  util::Rng rng(11);
+  topo::build_random(t, rng);
+  sim::RoundRunner runner(network, t,
+                          core::make_selectors(n, core::Algorithm::PerigeeSubset),
+                          40, 11);
+  runner.run_rounds(2);
+
+  // 10% of nodes leave: edges torn down, hash power zeroed.
+  util::Rng churn_rng(12);
+  std::vector<net::NodeId> leavers;
+  for (std::size_t idx : churn_rng.sample_indices(n, n / 10)) {
+    const auto v = static_cast<net::NodeId>(idx);
+    leavers.push_back(v);
+    t.disconnect_all(v);
+    network.mutable_profiles()[v].hash_power = 0.0;
+  }
+  runner.refresh_hash_power();
+  runner.run_rounds(4);
+  t.validate();
+
+  // Every remaining node still reaches 90% of the (remaining) hash power.
+  const auto lambda = metrics::eval_all_sources(t, network, 0.9);
+  std::size_t finite = 0;
+  for (net::NodeId v = 0; v < n; ++v) {
+    const bool left =
+        std::find(leavers.begin(), leavers.end(), v) != leavers.end();
+    if (!left && std::isfinite(lambda[v])) ++finite;
+  }
+  EXPECT_EQ(finite, n - leavers.size());
+}
+
+TEST(Churn, IsolatedNodeSelfHealsThroughExploration) {
+  // A node that loses every connection (e.g. its peers all left) is
+  // re-integrated automatically: its own selector's exploration dials fresh
+  // random peers the very next round, and other nodes' exploration finds it
+  // again.
+  const std::size_t n = 150;
+  auto network = make_network(n, 13);
+  net::Topology t(n);
+  util::Rng rng(13);
+  topo::build_random(t, rng);
+  sim::RoundRunner runner(network, t,
+                          core::make_selectors(n, core::Algorithm::PerigeeSubset),
+                          40, 13);
+  runner.run_rounds(1);
+
+  const net::NodeId node = 77;
+  t.disconnect_all(node);
+  EXPECT_EQ(t.out_count(node) + t.in_count(node), 0);
+
+  runner.run_rounds(3);
+  t.validate();
+  EXPECT_EQ(t.out_count(node), t.limits().out_cap);  // fully re-bootstrapped
+
+  const auto lambda = metrics::eval_all_sources(t, network, 0.9);
+  EXPECT_TRUE(std::isfinite(lambda[node]));
+}
+
+TEST(Churn, LearningStillImprovesUnderSteadyChurn) {
+  // 2% of nodes swap out every round; Perigee should still beat the static
+  // random topology evaluated on the same churn-free final state.
+  const std::size_t n = 200;
+  auto network = make_network(n, 15);
+  net::Topology t(n);
+  util::Rng rng(15);
+  topo::build_random(t, rng);
+  const auto lambda_start =
+      util::mean(metrics::eval_all_sources(t, network, 0.9));
+
+  sim::RoundRunner runner(network, t,
+                          core::make_selectors(n, core::Algorithm::PerigeeSubset),
+                          40, 15);
+  util::Rng churn_rng(16);
+  for (int r = 0; r < 12; ++r) {
+    runner.run_round();
+    // A couple of random nodes reset their connections (leave + instant
+    // rejoin with fresh random neighbors).
+    for (std::size_t idx : churn_rng.sample_indices(n, 4)) {
+      const auto v = static_cast<net::NodeId>(idx);
+      t.disconnect_all(v);
+      topo::dial_random_peers(t, v, t.limits().out_cap, churn_rng);
+    }
+  }
+  t.validate();
+  const auto lambda_end =
+      util::mean(metrics::eval_all_sources(t, network, 0.9));
+  EXPECT_LT(lambda_end, lambda_start);
+}
+
+}  // namespace
+}  // namespace perigee

@@ -1,0 +1,81 @@
+#include "core/rewire.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace perigee::core {
+namespace {
+
+TEST(Rewire, KeepsExactlyTheRetainedSet) {
+  net::Topology t(20, {.out_cap = 4, .in_cap = 20});
+  ASSERT_TRUE(t.connect(0, 1));
+  ASSERT_TRUE(t.connect(0, 2));
+  ASSERT_TRUE(t.connect(0, 3));
+  ASSERT_TRUE(t.connect(0, 4));
+  util::Rng rng(1);
+  const int made = retain_and_explore(t, 0, {1, 3}, rng);
+  EXPECT_EQ(made, 2);
+  EXPECT_TRUE(t.has_out(0, 1));
+  EXPECT_TRUE(t.has_out(0, 3));
+  EXPECT_FALSE(t.has_out(0, 2));
+  EXPECT_FALSE(t.has_out(0, 4));
+  EXPECT_EQ(t.out_count(0), 4);
+  t.validate();
+}
+
+TEST(Rewire, EmptyKeepDropsEverything) {
+  net::Topology t(20, {.out_cap = 3, .in_cap = 20});
+  ASSERT_TRUE(t.connect(5, 1));
+  ASSERT_TRUE(t.connect(5, 2));
+  util::Rng rng(2);
+  retain_and_explore(t, 5, {}, rng);
+  EXPECT_FALSE(t.has_out(5, 1));
+  EXPECT_FALSE(t.has_out(5, 2));
+  EXPECT_EQ(t.out_count(5), 3);  // refilled to cap with random peers
+  t.validate();
+}
+
+TEST(Rewire, NewPeersAreNeitherSelfNorDuplicates) {
+  util::Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    net::Topology t(10, {.out_cap = 5, .in_cap = 20});
+    ASSERT_TRUE(t.connect(0, 1));
+    retain_and_explore(t, 0, {1}, rng);
+    const auto& out = t.out(0);
+    EXPECT_EQ(std::count(out.begin(), out.end(), net::NodeId{0}), 0);
+    for (net::NodeId u : out) {
+      EXPECT_EQ(std::count(out.begin(), out.end(), u), 1);
+    }
+    t.validate();
+  }
+}
+
+TEST(Rewire, RetainingNonNeighborAborts) {
+  net::Topology t(5);
+  ASSERT_TRUE(t.connect(0, 1));
+  util::Rng rng(4);
+  EXPECT_DEATH(retain_and_explore(t, 0, {2}, rng), "retained peer");
+}
+
+TEST(Rewire, ExplorationRespectsDeclinedCapacity) {
+  // Dropping an edge frees the target's incoming slot, so exploration may
+  // re-dial it; node 3 stays full (its dialer is untouched) and can never
+  // be reached.
+  net::Topology t(4, {.out_cap = 2, .in_cap = 1});
+  ASSERT_TRUE(t.connect(0, 1));  // 1's incoming full until 0 drops it
+  ASSERT_TRUE(t.connect(2, 3));  // 3's incoming permanently full
+  util::Rng rng(5);
+  retain_and_explore(t, 0, {}, rng);
+  // Reachable peers for node 0 are exactly {1, 2}.
+  EXPECT_EQ(t.out_count(0), 2);
+  EXPECT_TRUE(t.has_out(0, 2));
+  EXPECT_TRUE(t.has_out(0, 1));
+  EXPECT_FALSE(t.has_out(0, 3));
+  t.validate();
+}
+
+}  // namespace
+}  // namespace perigee::core

@@ -1,0 +1,57 @@
+#include "metrics/curves.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace perigee::metrics {
+namespace {
+
+TEST(Curves, SingleRunIsSortedWithZeroStddev) {
+  const auto curve = aggregate_sorted_curves({{3.0, 1.0, 2.0}});
+  EXPECT_EQ(curve.mean, (std::vector<double>{1.0, 2.0, 3.0}));
+  EXPECT_EQ(curve.stddev, (std::vector<double>{0.0, 0.0, 0.0}));
+}
+
+TEST(Curves, IndexWiseMeanAcrossRuns) {
+  const auto curve = aggregate_sorted_curves({{1.0, 3.0}, {3.0, 5.0}});
+  // Sorted runs: {1,3} and {3,5}; index-wise means {2,4}.
+  EXPECT_EQ(curve.mean, (std::vector<double>{2.0, 4.0}));
+  EXPECT_NEAR(curve.stddev[0], std::sqrt(2.0), 1e-12);
+}
+
+TEST(Curves, MeanIsNonDecreasing) {
+  const auto curve = aggregate_sorted_curves(
+      {{9.0, 2.0, 5.0, 1.0}, {4.0, 8.0, 2.0, 6.0}, {7.0, 7.0, 7.0, 0.5}});
+  for (std::size_t i = 1; i < curve.mean.size(); ++i) {
+    EXPECT_GE(curve.mean[i], curve.mean[i - 1]);
+  }
+}
+
+TEST(Curves, ErrorbarIndicesMatchPaperPositions) {
+  const auto idx = errorbar_indices(1000);
+  EXPECT_EQ(idx, (std::vector<std::size_t>{100, 300, 500, 700, 900}));
+}
+
+TEST(Curves, ErrorbarIndicesClampForTinyNetworks) {
+  const auto idx = errorbar_indices(3);
+  for (auto i : idx) EXPECT_LT(i, 3u);
+}
+
+TEST(Curves, ImprovementAt) {
+  Curve ours{{50.0, 60.0}, {0, 0}};
+  Curve base{{100.0, 120.0}, {0, 0}};
+  EXPECT_DOUBLE_EQ(improvement_at(ours, base, 0), 0.5);
+  EXPECT_DOUBLE_EQ(improvement_at(ours, base, 1), 0.5);
+  // Negative when ours is slower.
+  Curve slow{{150.0, 120.0}, {0, 0}};
+  EXPECT_DOUBLE_EQ(improvement_at(slow, base, 0), -0.5);
+}
+
+TEST(Curves, CurveMean) {
+  Curve c{{1.0, 2.0, 3.0}, {0, 0, 0}};
+  EXPECT_DOUBLE_EQ(curve_mean(c), 2.0);
+}
+
+}  // namespace
+}  // namespace perigee::metrics

@@ -1,0 +1,67 @@
+#include "metrics/edge_hist.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topo/builders.hpp"
+#include "util/rng.hpp"
+
+namespace perigee::metrics {
+namespace {
+
+net::Network make_network(std::size_t n, std::uint64_t seed = 31) {
+  net::NetworkOptions options;
+  options.n = n;
+  options.seed = seed;
+  return net::Network::build(options);
+}
+
+TEST(EdgeHist, OneLatencyPerP2pEdge) {
+  const auto network = make_network(100);
+  net::Topology t(100);
+  util::Rng rng(31);
+  topo::build_random(t, rng);
+  const auto latencies = p2p_edge_latencies(t, network);
+  EXPECT_EQ(latencies.size(), t.num_p2p_edges());
+  for (double x : latencies) EXPECT_GT(x, 0.0);
+}
+
+TEST(EdgeHist, InfraEdgesExcluded) {
+  const auto network = make_network(50);
+  net::Topology t(50);
+  t.add_infra_edge(0, 1, 5.0);
+  t.connect(2, 3);
+  const auto latencies = p2p_edge_latencies(t, network);
+  EXPECT_EQ(latencies.size(), 1u);
+}
+
+TEST(EdgeHist, HistogramTotalsMatch) {
+  const auto network = make_network(150);
+  net::Topology t(150);
+  util::Rng rng(32);
+  topo::build_random(t, rng);
+  const auto hist = edge_latency_histogram(t, network, 20);
+  EXPECT_EQ(hist.total(), t.num_p2p_edges());
+  EXPECT_EQ(hist.bins(), 20u);
+}
+
+TEST(EdgeHist, FractionBelow) {
+  const std::vector<double> latencies = {10, 20, 30, 100, 200};
+  EXPECT_DOUBLE_EQ(fraction_below(latencies, 50.0), 0.6);
+  EXPECT_DOUBLE_EQ(fraction_below(latencies, 5.0), 0.0);
+  EXPECT_DOUBLE_EQ(fraction_below(latencies, 1000.0), 1.0);
+  EXPECT_DOUBLE_EQ(fraction_below({}, 10.0), 0.0);
+}
+
+TEST(EdgeHist, RandomTopologyIsLatencyBimodal) {
+  // Figure-5 precondition: on the geo network even a random edge set shows
+  // the intra- vs inter-continent bimodality.
+  const auto network = make_network(400, 33);
+  net::Topology t(400);
+  util::Rng rng(33);
+  topo::build_random(t, rng);
+  const auto hist = edge_latency_histogram(t, network, 24);
+  EXPECT_GE(hist.modes().size(), 2u);
+}
+
+}  // namespace
+}  // namespace perigee::metrics

@@ -1,0 +1,151 @@
+#include "metrics/eval.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "topo/builders.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace perigee::metrics {
+namespace {
+
+net::Network make_line_network(const std::vector<double>& xs,
+                               double validation_ms = 0.0) {
+  net::NetworkOptions options;
+  options.n = xs.size();
+  options.latency = net::NetworkOptions::LatencyKind::Euclidean;
+  options.embed_dim = 1;
+  options.embed_scale_ms = 1.0;
+  options.handshake_factor = 1.0;
+  options.validation_mean_ms = validation_ms;
+  options.validation_spread = 0.0;
+  net::Network network = net::Network::build(options);
+  auto& profiles = network.mutable_profiles();
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    profiles[i].coords = {xs[i], 0, 0, 0, 0};
+  }
+  return network;
+}
+
+TEST(Lambda, CoverageAccumulatesHashPower) {
+  // Chain 0-1-2-3 at x = 0, 10, 20, 30; uniform power (0.25 each).
+  auto network = make_line_network({0.0, 10.0, 20.0, 30.0});
+  net::Topology t(4);
+  t.connect(0, 1);
+  t.connect(1, 2);
+  t.connect(2, 3);
+  const auto result = sim::simulate_broadcast(t, network, 0);
+  // Arrivals: 0, 10, 20, 30. Cumulative power 0.25/0.5/0.75/1.0.
+  EXPECT_DOUBLE_EQ(lambda_for_broadcast(result, network, 0.25), 0.0);
+  EXPECT_DOUBLE_EQ(lambda_for_broadcast(result, network, 0.50), 10.0);
+  EXPECT_DOUBLE_EQ(lambda_for_broadcast(result, network, 0.75), 20.0);
+  EXPECT_DOUBLE_EQ(lambda_for_broadcast(result, network, 0.90), 30.0);
+  EXPECT_DOUBLE_EQ(lambda_for_broadcast(result, network, 1.00), 30.0);
+}
+
+TEST(Lambda, MinerPowerCountsImmediately) {
+  auto network = make_line_network({0.0, 10.0});
+  network.mutable_profiles()[0].hash_power = 0.9;
+  network.mutable_profiles()[1].hash_power = 0.1;
+  net::Topology t(2);
+  t.connect(0, 1);
+  const auto result = sim::simulate_broadcast(t, network, 0);
+  // The miner alone already covers 90%.
+  EXPECT_DOUBLE_EQ(lambda_for_broadcast(result, network, 0.90), 0.0);
+  EXPECT_DOUBLE_EQ(lambda_for_broadcast(result, network, 0.95), 10.0);
+}
+
+TEST(Lambda, UnreachableCoverageIsInfinite) {
+  auto network = make_line_network({0.0, 10.0, 20.0});
+  net::Topology t(3);
+  t.connect(0, 1);  // node 2 isolated
+  const auto result = sim::simulate_broadcast(t, network, 0);
+  EXPECT_TRUE(std::isfinite(lambda_for_broadcast(result, network, 0.66)));
+  EXPECT_TRUE(std::isinf(lambda_for_broadcast(result, network, 0.90)));
+}
+
+TEST(EvalAllSources, MatchesPerSourceBroadcast) {
+  net::NetworkOptions options;
+  options.n = 60;
+  options.seed = 21;
+  const auto network = net::Network::build(options);
+  net::Topology t(60);
+  util::Rng rng(21);
+  topo::build_random(t, rng);
+  const auto lambda = eval_all_sources(t, network, 0.9);
+  ASSERT_EQ(lambda.size(), 60u);
+  for (net::NodeId v : {net::NodeId{0}, net::NodeId{30}, net::NodeId{59}}) {
+    const auto result = sim::simulate_broadcast(t, network, v);
+    EXPECT_DOUBLE_EQ(lambda[v], lambda_for_broadcast(result, network, 0.9));
+  }
+}
+
+TEST(EvalIdeal, MatchesMaterializedClique) {
+  // The analytic ideal must equal an actually materialized fully-connected
+  // topology (the direct-delivery model has no multi-hop shortcuts when the
+  // triangle inequality holds, which Euclidean latencies guarantee and the
+  // +validation term only strengthens).
+  net::NetworkOptions options;
+  options.n = 40;
+  options.seed = 22;
+  options.latency = net::NetworkOptions::LatencyKind::Euclidean;
+  options.embed_dim = 2;
+  options.embed_scale_ms = 100.0;
+  const auto network = net::Network::build(options);
+
+  net::Topology clique(40, {.out_cap = 40, .in_cap = 40});
+  for (net::NodeId u = 0; u < 40; ++u) {
+    for (net::NodeId v = u + 1; v < 40; ++v) clique.connect(u, v);
+  }
+  const auto analytic = eval_ideal(network, 0.9);
+  const auto simulated = eval_all_sources(clique, network, 0.9);
+  for (net::NodeId v = 0; v < 40; ++v) {
+    EXPECT_NEAR(analytic[v], simulated[v], 1e-9);
+  }
+}
+
+TEST(EvalIdeal, LowerBoundsEveryTopology) {
+  net::NetworkOptions options;
+  options.n = 80;
+  options.seed = 23;
+  const auto network = net::Network::build(options);
+  net::Topology t(80);
+  util::Rng rng(23);
+  topo::build_random(t, rng);
+  const auto sparse = eval_all_sources(t, network, 0.9);
+  const auto ideal = eval_ideal(network, 0.9);
+  for (net::NodeId v = 0; v < 80; ++v) {
+    EXPECT_LE(ideal[v], sparse[v] + 1e-9);
+  }
+}
+
+TEST(EvalIdeal, HigherCoverageNeverFaster) {
+  net::NetworkOptions options;
+  options.n = 50;
+  options.seed = 24;
+  const auto network = net::Network::build(options);
+  const auto l50 = eval_ideal(network, 0.5);
+  const auto l90 = eval_ideal(network, 0.9);
+  for (net::NodeId v = 0; v < 50; ++v) {
+    EXPECT_LE(l50[v], l90[v] + 1e-9);
+  }
+}
+
+TEST(Lambda, ExponentialPowerShiftsCoverage) {
+  // Nodes: source plus two others, one with almost all remaining power far
+  // away. λ at 90% must wait for the heavy node.
+  auto network = make_line_network({0.0, 10.0, 500.0});
+  network.mutable_profiles()[0].hash_power = 0.05;
+  network.mutable_profiles()[1].hash_power = 0.05;
+  network.mutable_profiles()[2].hash_power = 0.90;
+  net::Topology t(3);
+  t.connect(0, 1);
+  t.connect(0, 2);
+  const auto result = sim::simulate_broadcast(t, network, 0);
+  EXPECT_DOUBLE_EQ(lambda_for_broadcast(result, network, 0.9), 500.0);
+}
+
+}  // namespace
+}  // namespace perigee::metrics

@@ -1,0 +1,135 @@
+#include "metrics/stretch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "net/embedding.hpp"
+#include "topo/builders.hpp"
+
+namespace perigee::metrics {
+namespace {
+
+net::Network make_square_network(std::size_t n, std::uint64_t seed) {
+  net::NetworkOptions options;
+  options.n = n;
+  options.seed = seed;
+  options.latency = net::NetworkOptions::LatencyKind::Euclidean;
+  options.embed_dim = 2;
+  options.embed_scale_ms = 1.0;
+  options.handshake_factor = 1.0;
+  return net::Network::build(options);
+}
+
+TEST(ShortestPaths, ChainDistances) {
+  net::NetworkOptions options;
+  options.n = 3;
+  options.latency = net::NetworkOptions::LatencyKind::Euclidean;
+  options.embed_dim = 1;
+  options.embed_scale_ms = 1.0;
+  auto network = net::Network::build(options);
+  auto& profiles = network.mutable_profiles();
+  profiles[0].coords = {0, 0, 0, 0, 0};
+  profiles[1].coords = {10, 0, 0, 0, 0};
+  profiles[2].coords = {25, 0, 0, 0, 0};
+  net::Topology t(3);
+  t.connect(0, 1);
+  t.connect(1, 2);
+  const auto dist = latency_shortest_paths(t, network, 0);
+  EXPECT_DOUBLE_EQ(dist[0], 0.0);
+  EXPECT_DOUBLE_EQ(dist[1], 10.0);
+  EXPECT_DOUBLE_EQ(dist[2], 25.0);
+}
+
+TEST(ShortestPaths, IgnoresValidationDelay) {
+  // The §3.1 graph-distance model is pure link latency; validation plays no
+  // role (contrast with sim::simulate_broadcast).
+  net::NetworkOptions options;
+  options.n = 3;
+  options.latency = net::NetworkOptions::LatencyKind::Euclidean;
+  options.embed_dim = 1;
+  options.embed_scale_ms = 1.0;
+  options.validation_mean_ms = 1000.0;
+  auto network = net::Network::build(options);
+  auto& profiles = network.mutable_profiles();
+  profiles[0].coords = {0, 0, 0, 0, 0};
+  profiles[1].coords = {10, 0, 0, 0, 0};
+  profiles[2].coords = {20, 0, 0, 0, 0};
+  net::Topology t(3);
+  t.connect(0, 1);
+  t.connect(1, 2);
+  const auto dist = latency_shortest_paths(t, network, 0);
+  EXPECT_DOUBLE_EQ(dist[2], 20.0);
+}
+
+TEST(ShortestPaths, UnreachableIsInf) {
+  const auto network = make_square_network(5, 41);
+  net::Topology t(5);
+  t.connect(0, 1);
+  const auto dist = latency_shortest_paths(t, network, 0);
+  EXPECT_TRUE(std::isinf(dist[4]));
+}
+
+TEST(Stretch, AtLeastOneOnAnyTopology) {
+  const auto network = make_square_network(200, 42);
+  net::Topology t(200);
+  util::Rng rng(42);
+  topo::build_random(t, rng);
+  util::Rng stretch_rng(43);
+  const auto stats = measure_stretch(t, network, stretch_rng, 10, 0.05);
+  EXPECT_GT(stats.pairs, 0u);
+  EXPECT_GE(stats.p50, 1.0);
+  EXPECT_GE(stats.mean, 1.0);
+  EXPECT_GE(stats.max, stats.p90);
+}
+
+TEST(Stretch, GeometricBeatsRandomOnEmbeddedNetwork) {
+  // The Figure-1 comparison: geometric graphs hug the geodesic, random
+  // topologies wander.
+  const std::size_t n = 500;
+  const auto network = make_square_network(n, 44);
+
+  net::Topology random_topo(n, {.out_cap = 3, .in_cap = 1000});
+  util::Rng rng(44);
+  topo::build_random(random_topo, rng);
+
+  const double r = net::geometric_threshold(n, 2, 1.2);
+  net::Topology geo_topo(n, {.out_cap = static_cast<int>(n),
+                             .in_cap = static_cast<int>(n)});
+  topo::build_geometric_threshold(geo_topo, network, r);
+
+  util::Rng s1(45), s2(45);
+  const auto random_stats = measure_stretch(random_topo, network, s1, 20, r);
+  const auto geo_stats = measure_stretch(geo_topo, network, s2, 20, r);
+  EXPECT_GT(random_stats.p50, geo_stats.p50);
+  EXPECT_GT(random_stats.mean, 1.5 * geo_stats.mean);
+}
+
+TEST(Stretch, PairStretchCornerToCorner) {
+  // Hand-placed corner nodes joined by a direct edge: stretch exactly 1.
+  net::NetworkOptions options;
+  options.n = 2;
+  options.latency = net::NetworkOptions::LatencyKind::Euclidean;
+  options.embed_dim = 2;
+  options.embed_scale_ms = 1.0;
+  auto network = net::Network::build(options);
+  network.mutable_profiles()[0].coords = {0, 0, 0, 0, 0};
+  network.mutable_profiles()[1].coords = {1, 1, 0, 0, 0};
+  net::Topology t(2);
+  t.connect(0, 1);
+  EXPECT_DOUBLE_EQ(pair_stretch(t, network, 0, 1), 1.0);
+}
+
+TEST(Stretch, MinDirectFilterSkipsClosePairs) {
+  const auto network = make_square_network(100, 46);
+  net::Topology t(100, {.out_cap = 100, .in_cap = 100});
+  topo::build_geometric_threshold(t, network, 2.0);  // complete graph
+  util::Rng rng(47);
+  const auto strict = measure_stretch(t, network, rng, 5, 0.5);
+  util::Rng rng2(47);
+  const auto loose = measure_stretch(t, network, rng2, 5, 0.0);
+  EXPECT_LT(strict.pairs, loose.pairs);
+}
+
+}  // namespace
+}  // namespace perigee::metrics

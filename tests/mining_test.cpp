@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "mining/hashpower.hpp"
+#include "mining/sampler.hpp"
+
+namespace perigee::mining {
+namespace {
+
+net::Network make_network(std::size_t n) {
+  net::NetworkOptions options;
+  options.n = n;
+  return net::Network::build(options);
+}
+
+TEST(HashPower, UniformSumsToOne) {
+  auto network = make_network(64);
+  util::Rng rng(1);
+  assign_hash_power(network, HashPowerModel::Uniform, rng);
+  EXPECT_NEAR(total_hash_power(network), 1.0, 1e-9);
+  for (net::NodeId v = 0; v < network.size(); ++v) {
+    EXPECT_DOUBLE_EQ(network.profile(v).hash_power, 1.0 / 64.0);
+  }
+}
+
+TEST(HashPower, ExponentialNormalizedAndSkewed) {
+  auto network = make_network(500);
+  util::Rng rng(2);
+  assign_hash_power(network, HashPowerModel::Exponential, rng);
+  EXPECT_NEAR(total_hash_power(network), 1.0, 1e-9);
+  std::vector<double> powers;
+  for (net::NodeId v = 0; v < network.size(); ++v) {
+    EXPECT_GT(network.profile(v).hash_power, 0.0);
+    powers.push_back(network.profile(v).hash_power);
+  }
+  // Exponential draws are right-skewed: max well above the mean.
+  const double max = *std::max_element(powers.begin(), powers.end());
+  EXPECT_GT(max, 3.0 / 500.0);
+}
+
+TEST(HashPower, ExponentialDeterministicPerRng) {
+  auto a = make_network(50);
+  auto b = make_network(50);
+  util::Rng rng_a(7), rng_b(7);
+  assign_hash_power(a, HashPowerModel::Exponential, rng_a);
+  assign_hash_power(b, HashPowerModel::Exponential, rng_b);
+  for (net::NodeId v = 0; v < 50; ++v) {
+    EXPECT_DOUBLE_EQ(a.profile(v).hash_power, b.profile(v).hash_power);
+  }
+}
+
+TEST(HashPower, PoolsConcentratePower) {
+  auto network = make_network(200);
+  util::Rng rng(3);
+  PoolsConfig pools;  // 10% of nodes hold 90%
+  const auto members =
+      assign_hash_power(network, HashPowerModel::Pools, rng, pools);
+  EXPECT_EQ(members.size(), 20u);
+  EXPECT_NEAR(total_hash_power(network), 1.0, 1e-9);
+  double pool_total = 0;
+  for (net::NodeId v : members) pool_total += network.profile(v).hash_power;
+  EXPECT_NEAR(pool_total, 0.9, 1e-9);
+  // Members are distinct.
+  std::vector<net::NodeId> sorted = members;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end());
+}
+
+TEST(HashPower, PoolsCustomShares) {
+  auto network = make_network(100);
+  util::Rng rng(4);
+  PoolsConfig pools{.pool_fraction = 0.05, .pool_share = 0.5};
+  const auto members =
+      assign_hash_power(network, HashPowerModel::Pools, rng, pools);
+  EXPECT_EQ(members.size(), 5u);
+  for (net::NodeId v : members) {
+    EXPECT_NEAR(network.profile(v).hash_power, 0.1, 1e-9);
+  }
+}
+
+TEST(AliasSampler, UniformWeights) {
+  const std::vector<double> w(10, 1.0);
+  AliasSampler sampler(w);
+  util::Rng rng(5);
+  std::vector<int> counts(10, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[sampler.sample(rng)];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 0.1, 0.01);
+  }
+}
+
+TEST(AliasSampler, SkewedWeights) {
+  const std::vector<double> w = {8.0, 1.0, 1.0};
+  AliasSampler sampler(w);
+  EXPECT_DOUBLE_EQ(sampler.probability(0), 0.8);
+  EXPECT_DOUBLE_EQ(sampler.probability(1), 0.1);
+  util::Rng rng(6);
+  std::vector<int> counts(3, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[sampler.sample(rng)];
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.8, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / n, 0.1, 0.01);
+}
+
+TEST(AliasSampler, ZeroWeightNeverSampled) {
+  const std::vector<double> w = {1.0, 0.0, 1.0};
+  AliasSampler sampler(w);
+  util::Rng rng(7);
+  for (int i = 0; i < 20000; ++i) {
+    EXPECT_NE(sampler.sample(rng), 1u);
+  }
+}
+
+TEST(AliasSampler, SingleElement) {
+  AliasSampler sampler({5.0});
+  util::Rng rng(8);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(sampler.sample(rng), 0u);
+}
+
+TEST(AliasSampler, FromHashPowerMatchesProfiles) {
+  auto network = make_network(30);
+  util::Rng rng(9);
+  assign_hash_power(network, HashPowerModel::Exponential, rng);
+  const auto sampler = AliasSampler::from_hash_power(network);
+  for (net::NodeId v = 0; v < 30; ++v) {
+    EXPECT_NEAR(sampler.probability(v), network.profile(v).hash_power, 1e-12);
+  }
+}
+
+TEST(AliasSampler, MinerFrequencyTracksHashPower) {
+  auto network = make_network(50);
+  util::Rng rng(10);
+  PoolsConfig pools{.pool_fraction = 0.1, .pool_share = 0.9};
+  const auto members =
+      assign_hash_power(network, HashPowerModel::Pools, rng, pools);
+  const auto sampler = AliasSampler::from_hash_power(network);
+  util::Rng draw_rng(11);
+  int pool_hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const auto m = static_cast<net::NodeId>(sampler.sample(draw_rng));
+    if (std::find(members.begin(), members.end(), m) != members.end()) {
+      ++pool_hits;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(pool_hits) / n, 0.9, 0.01);
+}
+
+}  // namespace
+}  // namespace perigee::mining

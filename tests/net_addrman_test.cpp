@@ -1,0 +1,151 @@
+#include "net/addrman.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/experiment.hpp"
+#include "topo/builders.hpp"
+#include "util/stats.hpp"
+
+namespace perigee::net {
+namespace {
+
+TEST(AddrMan, StartsEmpty) {
+  AddrMan addrman(10, 5);
+  util::Rng rng(1);
+  for (NodeId v = 0; v < 10; ++v) {
+    EXPECT_EQ(addrman.known_count(v), 0u);
+    EXPECT_EQ(addrman.sample(v, rng), kInvalidNode);
+  }
+}
+
+TEST(AddrMan, LearnRejectsSelfAndDuplicates) {
+  AddrMan addrman(5, 4);
+  util::Rng rng(1);
+  EXPECT_FALSE(addrman.learn(0, 0, rng));
+  EXPECT_TRUE(addrman.learn(0, 1, rng));
+  EXPECT_FALSE(addrman.learn(0, 1, rng));
+  EXPECT_EQ(addrman.known_count(0), 1u);
+  EXPECT_TRUE(addrman.knows(0, 1));
+  EXPECT_FALSE(addrman.knows(0, 2));
+}
+
+TEST(AddrMan, CapacityEvictionKeepsBookBounded) {
+  AddrMan addrman(50, 8);
+  util::Rng rng(2);
+  for (NodeId addr = 1; addr < 50; ++addr) addrman.learn(0, addr, rng);
+  EXPECT_EQ(addrman.known_count(0), 8u);
+}
+
+TEST(AddrMan, BootstrapFillsBooks) {
+  AddrMan addrman(100, 50);
+  util::Rng rng(3);
+  addrman.bootstrap(rng, 20);
+  for (NodeId v = 0; v < 100; ++v) {
+    // Random duplicates (and self-draws) push the count below 20.
+    EXPECT_GE(addrman.known_count(v), 12u);
+    EXPECT_LE(addrman.known_count(v), 20u);
+    EXPECT_FALSE(addrman.knows(v, v));
+  }
+}
+
+TEST(AddrMan, SampleReturnsKnownAddress) {
+  AddrMan addrman(20, 10);
+  util::Rng rng(4);
+  addrman.learn(3, 7, rng);
+  addrman.learn(3, 9, rng);
+  for (int i = 0; i < 50; ++i) {
+    const NodeId s = addrman.sample(3, rng);
+    EXPECT_TRUE(s == 7 || s == 9);
+  }
+}
+
+TEST(AddrMan, NeighborsAlwaysLearnable) {
+  Topology t(10);
+  t.connect(0, 1);
+  t.connect(2, 0);
+  AddrMan addrman(10, 4);
+  addrman.add_neighbors_of(t);
+  EXPECT_TRUE(addrman.knows(0, 1));
+  EXPECT_TRUE(addrman.knows(0, 2));
+  EXPECT_TRUE(addrman.knows(1, 0));
+  EXPECT_TRUE(addrman.knows(2, 0));
+}
+
+TEST(AddrMan, GossipSpreadsAddresses) {
+  // Chain topology: addresses held only by node 0 reach the far end after
+  // enough gossip rounds.
+  const std::size_t n = 12;
+  Topology t(n);
+  for (NodeId v = 0; v + 1 < n; ++v) ASSERT_TRUE(t.connect(v, v + 1));
+  AddrMan addrman(n, 16);
+  util::Rng rng(5);
+  // Seed: everyone knows only their neighbors; node 0 additionally knows 11.
+  addrman.add_neighbors_of(t);
+  addrman.learn(0, 11, rng);
+
+  int rounds = 0;
+  while (!addrman.knows(5, 11) && rounds < 50) {
+    addrman.gossip_round(t, rng);
+    ++rounds;
+  }
+  EXPECT_TRUE(addrman.knows(5, 11));
+  EXPECT_LT(rounds, 50);
+}
+
+TEST(AddrMan, DialFromBookOnlyReachesKnownPeers) {
+  Topology t(30);
+  AddrMan addrman(30, 10);
+  util::Rng rng(6);
+  addrman.learn(0, 5, rng);
+  addrman.learn(0, 6, rng);
+  const int made = topo::dial_peers_from_book(t, 0, 8, addrman, rng);
+  EXPECT_EQ(made, 2);  // only two peers are known
+  std::set<NodeId> out(t.out(0).begin(), t.out(0).end());
+  EXPECT_EQ(out, (std::set<NodeId>{5, 6}));
+}
+
+TEST(AddrMan, EmptyBookDialsNothing) {
+  Topology t(5);
+  AddrMan addrman(5, 3);
+  util::Rng rng(7);
+  EXPECT_EQ(topo::dial_peers_from_book(t, 0, 4, addrman, rng), 0);
+  EXPECT_EQ(t.out_count(0), 0);
+}
+
+TEST(AddrManIntegration, PerigeeStillLearnsUnderPartialView) {
+  core::ExperimentConfig config;
+  config.net.n = 250;
+  config.rounds = 20;
+  config.blocks_per_round = 60;
+  config.seed = 9;
+  config.partial_view = true;
+  config.addrman_capacity = 40;
+  config.addrman_bootstrap = 15;
+
+  config.algorithm = core::Algorithm::Random;
+  const double random = util::mean(core::run_experiment(config).lambda);
+  config.algorithm = core::Algorithm::PerigeeSubset;
+  const double subset = util::mean(core::run_experiment(config).lambda);
+  // Partial views shrink the candidate pool but must not break learning.
+  EXPECT_LT(subset, random * 0.92);
+}
+
+TEST(AddrManIntegration, TinyBooksDegradeGracefully) {
+  core::ExperimentConfig config;
+  config.net.n = 250;
+  config.rounds = 15;
+  config.blocks_per_round = 60;
+  config.seed = 10;
+  config.partial_view = true;
+  config.addrman_capacity = 10;
+  config.addrman_bootstrap = 5;
+  config.algorithm = core::Algorithm::PerigeeSubset;
+  const auto result = core::run_experiment(config);
+  // Everyone still reaches coverage: the network never partitions.
+  for (double l : result.lambda) EXPECT_TRUE(std::isfinite(l));
+}
+
+}  // namespace
+}  // namespace perigee::net

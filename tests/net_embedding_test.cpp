@@ -1,0 +1,68 @@
+#include "net/embedding.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace perigee::net {
+namespace {
+
+TEST(Embedding, CoordinatesInUnitCube) {
+  std::vector<NodeProfile> profiles(100);
+  util::Rng rng(1);
+  embed_uniform(profiles, 3, rng);
+  for (const auto& p : profiles) {
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_GE(p.coords[static_cast<std::size_t>(i)], 0.0);
+      EXPECT_LT(p.coords[static_cast<std::size_t>(i)], 1.0);
+    }
+    // Unused tail dims are zero.
+    EXPECT_DOUBLE_EQ(p.coords[3], 0.0);
+    EXPECT_DOUBLE_EQ(p.coords[4], 0.0);
+  }
+}
+
+TEST(Embedding, DistanceIsAMetric) {
+  std::vector<NodeProfile> profiles(20);
+  util::Rng rng(2);
+  embed_uniform(profiles, 2, rng);
+  for (std::size_t i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(embed_distance(profiles[i], profiles[i], 2), 0.0);
+    for (std::size_t j = 0; j < 20; ++j) {
+      EXPECT_DOUBLE_EQ(embed_distance(profiles[i], profiles[j], 2),
+                       embed_distance(profiles[j], profiles[i], 2));
+      for (std::size_t k = 0; k < 20; ++k) {
+        EXPECT_LE(embed_distance(profiles[i], profiles[k], 2),
+                  embed_distance(profiles[i], profiles[j], 2) +
+                      embed_distance(profiles[j], profiles[k], 2) + 1e-12);
+      }
+    }
+  }
+}
+
+TEST(Embedding, KnownDistance) {
+  std::vector<NodeProfile> profiles(2);
+  profiles[0].coords = {0.0, 0.0, 0, 0, 0};
+  profiles[1].coords = {1.0, 1.0, 0, 0, 0};
+  EXPECT_DOUBLE_EQ(embed_distance(profiles[0], profiles[1], 2),
+                   std::sqrt(2.0));
+}
+
+TEST(GeometricThreshold, ScalesAsTheoryPredicts) {
+  // r = (log n / n)^(1/d): decreasing in n, increasing in factor.
+  EXPECT_GT(geometric_threshold(100, 2), geometric_threshold(10000, 2));
+  EXPECT_DOUBLE_EQ(geometric_threshold(100, 2, 2.0),
+                   2.0 * geometric_threshold(100, 2, 1.0));
+  const double expect =
+      std::pow(std::log(1000.0) / 1000.0, 0.5);
+  EXPECT_NEAR(geometric_threshold(1000, 2), expect, 1e-12);
+}
+
+TEST(RandomGraphProbability, MatchesFormulaAndClamps) {
+  EXPECT_NEAR(random_graph_probability(1000, 1.0),
+              std::log(1000.0) / 1000.0, 1e-12);
+  EXPECT_DOUBLE_EQ(random_graph_probability(2, 100.0), 1.0);  // clamped
+}
+
+}  // namespace
+}  // namespace perigee::net

@@ -1,0 +1,77 @@
+#include "net/geo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace perigee::net {
+namespace {
+
+TEST(Geo, MatrixIsSymmetric) {
+  for (int i = 0; i < kNumRegions; ++i) {
+    for (int j = 0; j < kNumRegions; ++j) {
+      EXPECT_DOUBLE_EQ(
+          region_base_latency_ms(static_cast<Region>(i), static_cast<Region>(j)),
+          region_base_latency_ms(static_cast<Region>(j), static_cast<Region>(i)))
+          << "asymmetric at (" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(Geo, IntraRegionIsCheapest) {
+  // The diagonal must be strictly below every off-diagonal entry of its row:
+  // intra-continent links are always faster than inter-continent ones.
+  for (int i = 0; i < kNumRegions; ++i) {
+    const auto ri = static_cast<Region>(i);
+    const double diag = region_base_latency_ms(ri, ri);
+    for (int j = 0; j < kNumRegions; ++j) {
+      if (i == j) continue;
+      EXPECT_LT(diag, region_base_latency_ms(ri, static_cast<Region>(j)));
+    }
+  }
+}
+
+TEST(Geo, LatenciesArePositiveAndRealistic) {
+  for (int i = 0; i < kNumRegions; ++i) {
+    for (int j = 0; j < kNumRegions; ++j) {
+      const double d = region_base_latency_ms(static_cast<Region>(i),
+                                              static_cast<Region>(j));
+      EXPECT_GT(d, 0.0);
+      EXPECT_LE(d, 200.0);  // one-way delays stay below 200 ms
+    }
+  }
+}
+
+TEST(Geo, WeightsFormDistribution) {
+  double total = 0;
+  for (double w : region_weights()) {
+    EXPECT_GT(w, 0.0);
+    total += w;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Geo, NorthAmericaAndEuropeDominate) {
+  const auto& w = region_weights();
+  const double na = w[static_cast<std::size_t>(Region::NorthAmerica)];
+  const double eu = w[static_cast<std::size_t>(Region::Europe)];
+  EXPECT_GT(na + eu, 0.5);
+}
+
+TEST(Geo, MinMaxHelpers) {
+  EXPECT_DOUBLE_EQ(min_region_latency_ms(), 12.0);
+  EXPECT_DOUBLE_EQ(max_region_latency_ms(), 170.0);
+  EXPECT_LT(min_region_latency_ms(), max_region_latency_ms());
+}
+
+TEST(Geo, RegionNamesDistinct) {
+  for (int i = 0; i < kNumRegions; ++i) {
+    for (int j = i + 1; j < kNumRegions; ++j) {
+      EXPECT_NE(region_name(static_cast<Region>(i)),
+                region_name(static_cast<Region>(j)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace perigee::net

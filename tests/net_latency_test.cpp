@@ -1,0 +1,118 @@
+#include "net/latency.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "net/embedding.hpp"
+
+namespace perigee::net {
+namespace {
+
+std::vector<NodeProfile> make_profiles(std::size_t n, Region region) {
+  std::vector<NodeProfile> profiles(n);
+  for (auto& p : profiles) {
+    p.region = region;
+    p.access_ms = 5.0;
+  }
+  return profiles;
+}
+
+TEST(GeoLatency, SymmetricAndDeterministic) {
+  auto profiles = make_profiles(10, Region::Europe);
+  GeoLatencyModel model(&profiles, 42);
+  for (NodeId u = 0; u < 10; ++u) {
+    for (NodeId v = 0; v < 10; ++v) {
+      if (u == v) continue;
+      EXPECT_DOUBLE_EQ(model.link_ms(u, v), model.link_ms(v, u));
+      EXPECT_DOUBLE_EQ(model.link_ms(u, v), model.link_ms(u, v));
+    }
+  }
+}
+
+TEST(GeoLatency, JitterStaysWithinBand) {
+  auto profiles = make_profiles(50, Region::Asia);
+  const double base = region_base_latency_ms(Region::Asia, Region::Asia);
+  GeoLatencyModel model(&profiles, 7, 0.2);
+  for (NodeId u = 0; u < 50; ++u) {
+    for (NodeId v = u + 1; v < 50; ++v) {
+      const double d = model.link_ms(u, v);
+      // base*[0.8, 1.2] + 2 * 5ms access.
+      EXPECT_GE(d, base * 0.8 + 10.0 - 1e-9);
+      EXPECT_LE(d, base * 1.2 + 10.0 + 1e-9);
+    }
+  }
+}
+
+TEST(GeoLatency, JitterVariesAcrossPairs) {
+  auto profiles = make_profiles(20, Region::Europe);
+  GeoLatencyModel model(&profiles, 3, 0.2);
+  double lo = 1e18, hi = -1e18;
+  for (NodeId u = 0; u < 20; ++u) {
+    for (NodeId v = u + 1; v < 20; ++v) {
+      lo = std::min(lo, model.link_ms(u, v));
+      hi = std::max(hi, model.link_ms(u, v));
+    }
+  }
+  EXPECT_GT(hi - lo, 1.0);  // jitter actually spreads the values
+}
+
+TEST(GeoLatency, DifferentSeedsDifferentJitter) {
+  auto profiles = make_profiles(5, Region::Europe);
+  GeoLatencyModel a(&profiles, 1), b(&profiles, 2);
+  EXPECT_NE(a.link_ms(0, 1), b.link_ms(0, 1));
+}
+
+TEST(GeoLatency, ZeroJitterIsExactBasePlusAccess) {
+  auto profiles = make_profiles(4, Region::China);
+  GeoLatencyModel model(&profiles, 9, 0.0);
+  const double base = region_base_latency_ms(Region::China, Region::China);
+  EXPECT_DOUBLE_EQ(model.link_ms(0, 1), base + 10.0);
+}
+
+TEST(GeoLatency, InterRegionUsesMatrix) {
+  std::vector<NodeProfile> profiles(2);
+  profiles[0].region = Region::NorthAmerica;
+  profiles[1].region = Region::Oceania;
+  profiles[0].access_ms = profiles[1].access_ms = 0.0;
+  GeoLatencyModel model(&profiles, 5, 0.0);
+  EXPECT_DOUBLE_EQ(model.link_ms(0, 1),
+                   region_base_latency_ms(Region::NorthAmerica,
+                                          Region::Oceania));
+}
+
+TEST(EuclideanLatency, MatchesDistanceTimesScale) {
+  std::vector<NodeProfile> profiles(2);
+  profiles[0].coords = {0.0, 0.0, 0, 0, 0};
+  profiles[1].coords = {3.0, 4.0, 0, 0, 0};
+  EuclideanLatencyModel model(&profiles, 2, 10.0);
+  EXPECT_DOUBLE_EQ(model.link_ms(0, 1), 50.0);
+  EXPECT_DOUBLE_EQ(model.link_ms(1, 0), 50.0);
+}
+
+TEST(EuclideanLatency, HigherDimsCount) {
+  std::vector<NodeProfile> profiles(2);
+  profiles[0].coords = {0, 0, 0, 0, 0};
+  profiles[1].coords = {1, 1, 1, 1, 0};
+  EuclideanLatencyModel model2(&profiles, 2, 1.0);
+  EuclideanLatencyModel model4(&profiles, 4, 1.0);
+  EXPECT_DOUBLE_EQ(model2.link_ms(0, 1), std::sqrt(2.0));
+  EXPECT_DOUBLE_EQ(model4.link_ms(0, 1), 2.0);
+}
+
+TEST(PairClassScaled, ScalesOnlyInClassPairs) {
+  auto profiles = make_profiles(4, Region::Europe);
+  auto base = std::make_unique<GeoLatencyModel>(&profiles, 11, 0.0);
+  const double unscaled = base->link_ms(0, 1);
+  std::vector<bool> in_class = {true, true, false, false};
+  PairClassScaledModel scaled(
+      std::move(base), [&in_class](NodeId v) { return in_class[v]; }, 0.1);
+  EXPECT_DOUBLE_EQ(scaled.link_ms(0, 1), unscaled * 0.1);  // both in class
+  EXPECT_DOUBLE_EQ(scaled.link_ms(0, 2), unscaled);        // mixed
+  EXPECT_DOUBLE_EQ(scaled.link_ms(2, 3), unscaled);        // both out
+}
+
+}  // namespace
+}  // namespace perigee::net

@@ -1,0 +1,180 @@
+#include "net/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+namespace perigee::net {
+namespace {
+
+TEST(Network, BuildRespectsSize) {
+  NetworkOptions options;
+  options.n = 123;
+  const Network network = Network::build(options);
+  EXPECT_EQ(network.size(), 123u);
+}
+
+TEST(Network, DeterministicInSeed) {
+  NetworkOptions options;
+  options.n = 50;
+  options.seed = 99;
+  const Network a = Network::build(options);
+  const Network b = Network::build(options);
+  for (NodeId v = 0; v < 50; ++v) {
+    EXPECT_EQ(a.profile(v).region, b.profile(v).region);
+    EXPECT_DOUBLE_EQ(a.profile(v).validation_ms, b.profile(v).validation_ms);
+    EXPECT_DOUBLE_EQ(a.profile(v).access_ms, b.profile(v).access_ms);
+  }
+  EXPECT_DOUBLE_EQ(a.link_ms(0, 1), b.link_ms(0, 1));
+}
+
+TEST(Network, SeedsChangeDraws) {
+  NetworkOptions options;
+  options.n = 50;
+  options.seed = 1;
+  const Network a = Network::build(options);
+  options.seed = 2;
+  const Network b = Network::build(options);
+  int diffs = 0;
+  for (NodeId v = 0; v < 50; ++v) {
+    if (a.profile(v).region != b.profile(v).region) ++diffs;
+  }
+  EXPECT_GT(diffs, 5);
+}
+
+TEST(Network, RegionMixRoughlyMatchesWeights) {
+  NetworkOptions options;
+  options.n = 5000;
+  const Network network = Network::build(options);
+  std::array<int, kNumRegions> counts{};
+  for (NodeId v = 0; v < network.size(); ++v) {
+    ++counts[static_cast<std::size_t>(network.profile(v).region)];
+  }
+  const auto& weights = region_weights();
+  for (int r = 0; r < kNumRegions; ++r) {
+    const double frac =
+        static_cast<double>(counts[static_cast<std::size_t>(r)]) / 5000.0;
+    EXPECT_NEAR(frac, weights[static_cast<std::size_t>(r)], 0.03);
+  }
+}
+
+TEST(Network, ValidationWithinConfiguredBand) {
+  NetworkOptions options;
+  options.n = 500;
+  options.validation_mean_ms = 50.0;
+  options.validation_spread = 0.5;
+  const Network network = Network::build(options);
+  double sum = 0;
+  for (NodeId v = 0; v < network.size(); ++v) {
+    const double d = network.validation_ms(v);
+    EXPECT_GE(d, 25.0);
+    EXPECT_LE(d, 75.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 500.0, 50.0, 3.0);
+}
+
+TEST(Network, ValidationScaleApplies) {
+  NetworkOptions options;
+  options.n = 100;
+  options.validation_scale = 0.1;
+  const Network network = Network::build(options);
+  for (NodeId v = 0; v < network.size(); ++v) {
+    EXPECT_LE(network.validation_ms(v), 7.5 + 1e-9);
+    EXPECT_GE(network.validation_ms(v), 2.5 - 1e-9);
+  }
+}
+
+TEST(Network, HashPowerInitializedUniform) {
+  NetworkOptions options;
+  options.n = 40;
+  const Network network = Network::build(options);
+  for (NodeId v = 0; v < network.size(); ++v) {
+    EXPECT_DOUBLE_EQ(network.profile(v).hash_power, 1.0 / 40.0);
+  }
+}
+
+TEST(Network, EdgeDelayAppliesHandshakeFactor) {
+  // Default δ = 3 one-way traversals (INV -> GETDATA -> BLOCK), no
+  // transmission term.
+  NetworkOptions options;
+  options.n = 10;
+  const Network network = Network::build(options);
+  EXPECT_DOUBLE_EQ(network.edge_delay_ms(0, 1), 3.0 * network.link_ms(0, 1));
+}
+
+TEST(Network, HandshakeFactorConfigurable) {
+  NetworkOptions options;
+  options.n = 10;
+  options.handshake_factor = 1.0;
+  const Network network = Network::build(options);
+  EXPECT_DOUBLE_EQ(network.edge_delay_ms(0, 1), network.link_ms(0, 1));
+}
+
+TEST(Network, TransmissionTermAddsBlockTime) {
+  NetworkOptions options;
+  options.n = 10;
+  options.handshake_factor = 1.0;
+  options.block_size_kb = 1000.0;  // 1 MB
+  options.bandwidth_default_mbps = 8.0;
+  const Network network = Network::build(options);
+  // 1000 KB * 8 bits / 8 Mbps = 1000 ms on top of propagation.
+  EXPECT_NEAR(network.edge_delay_ms(0, 1) - network.link_ms(0, 1), 1000.0,
+              1e-9);
+}
+
+TEST(Network, HeterogeneousBandwidthWithinRange) {
+  NetworkOptions options;
+  options.n = 300;
+  options.heterogeneous_bandwidth = true;
+  const Network network = Network::build(options);
+  double lo = 1e18, hi = 0;
+  for (NodeId v = 0; v < network.size(); ++v) {
+    const double bw = network.profile(v).bandwidth_mbps;
+    EXPECT_GE(bw, 3.0);
+    EXPECT_LE(bw, 186.0);
+    lo = std::min(lo, bw);
+    hi = std::max(hi, bw);
+  }
+  EXPECT_LT(lo, 10.0);   // the spread actually covers the range
+  EXPECT_GT(hi, 80.0);
+}
+
+TEST(Network, EuclideanModeUsesEmbedding) {
+  NetworkOptions options;
+  options.n = 30;
+  options.latency = NetworkOptions::LatencyKind::Euclidean;
+  options.embed_dim = 2;
+  options.embed_scale_ms = 100.0;
+  const Network network = Network::build(options);
+  // Max distance in the unit square is sqrt(2) -> 141.4 ms.
+  for (NodeId u = 0; u < 30; ++u) {
+    for (NodeId v = u + 1; v < 30; ++v) {
+      EXPECT_LE(network.link_ms(u, v), 142.0);
+      EXPECT_GE(network.link_ms(u, v), 0.0);
+    }
+  }
+}
+
+TEST(Network, SetLatencyModelTakesEffect) {
+  NetworkOptions options;
+  options.n = 10;
+  Network network = Network::build(options);
+  const double before = network.link_ms(0, 1);
+  network.set_latency_model(std::make_unique<PairClassScaledModel>(
+      network.make_geo_model(), [](NodeId) { return true; }, 0.5));
+  EXPECT_NEAR(network.link_ms(0, 1), before * 0.5, 1e-9);
+}
+
+TEST(Network, MoveKeepsLatencyModelValid) {
+  NetworkOptions options;
+  options.n = 10;
+  Network a = Network::build(options);
+  const double before = a.link_ms(2, 3);
+  const Network b = std::move(a);
+  EXPECT_DOUBLE_EQ(b.link_ms(2, 3), before);
+}
+
+}  // namespace
+}  // namespace perigee::net

@@ -1,0 +1,165 @@
+#include "net/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace perigee::net {
+namespace {
+
+TEST(Topology, ConnectEstablishesDirectedEdge) {
+  Topology t(5);
+  EXPECT_TRUE(t.connect(0, 1));
+  EXPECT_TRUE(t.has_out(0, 1));
+  EXPECT_FALSE(t.has_out(1, 0));
+  EXPECT_TRUE(t.are_adjacent(0, 1));
+  EXPECT_TRUE(t.are_adjacent(1, 0));
+  EXPECT_EQ(t.out_count(0), 1);
+  EXPECT_EQ(t.in_count(1), 1);
+  t.validate();
+}
+
+TEST(Topology, SelfLoopRejected) {
+  Topology t(3);
+  EXPECT_FALSE(t.connect(1, 1));
+  EXPECT_EQ(t.out_count(1), 0);
+}
+
+TEST(Topology, DuplicateRejectedBothDirections) {
+  Topology t(3);
+  EXPECT_TRUE(t.connect(0, 1));
+  EXPECT_FALSE(t.connect(0, 1));  // same direction
+  EXPECT_FALSE(t.connect(1, 0));  // reverse direction also refused
+  t.validate();
+}
+
+TEST(Topology, OutgoingCapEnforced) {
+  Topology t(10, {.out_cap = 3, .in_cap = 20});
+  EXPECT_TRUE(t.connect(0, 1));
+  EXPECT_TRUE(t.connect(0, 2));
+  EXPECT_TRUE(t.connect(0, 3));
+  EXPECT_FALSE(t.connect(0, 4));
+  EXPECT_TRUE(t.out_full(0));
+  t.validate();
+}
+
+TEST(Topology, IncomingCapDeclines) {
+  Topology t(10, {.out_cap = 8, .in_cap = 2});
+  EXPECT_TRUE(t.connect(1, 0));
+  EXPECT_TRUE(t.connect(2, 0));
+  EXPECT_FALSE(t.connect(3, 0));  // node 0 declines
+  EXPECT_TRUE(t.in_full(0));
+  EXPECT_TRUE(t.connect(3, 4));   // dialer can go elsewhere
+  t.validate();
+}
+
+TEST(Topology, DisconnectFreesSlots) {
+  Topology t(5, {.out_cap = 1, .in_cap = 1});
+  EXPECT_TRUE(t.connect(0, 1));
+  EXPECT_FALSE(t.connect(2, 1));
+  t.disconnect(0, 1);
+  EXPECT_EQ(t.out_count(0), 0);
+  EXPECT_EQ(t.in_count(1), 0);
+  EXPECT_FALSE(t.are_adjacent(0, 1));
+  EXPECT_TRUE(t.connect(2, 1));
+  t.validate();
+}
+
+TEST(Topology, DisconnectNonexistentAborts) {
+  Topology t(3);
+  EXPECT_DEATH(t.disconnect(0, 1), "disconnect");
+}
+
+TEST(Topology, AdjacencyIsUnionOfDirections) {
+  Topology t(4);
+  t.connect(0, 1);
+  t.connect(2, 0);
+  const auto& adj = t.adjacency(0);
+  std::vector<NodeId> peers;
+  for (const auto& l : adj) peers.push_back(l.peer);
+  std::sort(peers.begin(), peers.end());
+  EXPECT_EQ(peers, (std::vector<NodeId>{1, 2}));
+}
+
+TEST(Topology, InfraEdgeCarriesLatency) {
+  Topology t(4);
+  EXPECT_TRUE(t.add_infra_edge(0, 1, 5.0));
+  ASSERT_TRUE(t.infra_latency(0, 1).has_value());
+  EXPECT_DOUBLE_EQ(*t.infra_latency(0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(*t.infra_latency(1, 0), 5.0);
+  EXPECT_FALSE(t.infra_latency(0, 2).has_value());
+  // Infra edges do not consume p2p degree budget.
+  EXPECT_EQ(t.out_count(0), 0);
+  EXPECT_EQ(t.in_count(1), 0);
+  t.validate();
+}
+
+TEST(Topology, InfraMarkedInAdjacency) {
+  Topology t(3);
+  t.add_infra_edge(0, 1, 7.5);
+  t.connect(0, 2);
+  int infra = 0, p2p = 0;
+  for (const auto& l : t.adjacency(0)) {
+    if (l.is_infra()) {
+      ++infra;
+      EXPECT_DOUBLE_EQ(l.infra_ms, 7.5);
+    } else {
+      ++p2p;
+    }
+  }
+  EXPECT_EQ(infra, 1);
+  EXPECT_EQ(p2p, 1);
+}
+
+TEST(Topology, P2pConnectBlockedByInfraEdge) {
+  Topology t(3);
+  t.add_infra_edge(0, 1, 5.0);
+  EXPECT_FALSE(t.connect(0, 1));
+  EXPECT_FALSE(t.connect(1, 0));
+}
+
+TEST(Topology, EdgeEnumeration) {
+  Topology t(5);
+  t.connect(0, 1);
+  t.connect(2, 3);
+  t.add_infra_edge(1, 4, 2.0);
+  EXPECT_EQ(t.num_p2p_edges(), 2u);
+  const auto p2p = t.p2p_edges();
+  EXPECT_EQ(p2p.size(), 2u);
+  const auto infra = t.infra_edges();
+  ASSERT_EQ(infra.size(), 1u);
+  EXPECT_EQ(infra[0], (std::pair<NodeId, NodeId>{1, 4}));
+}
+
+TEST(Topology, RandomMutationStormPreservesInvariants) {
+  // Property test: a long random sequence of connects/disconnects can never
+  // break the structure invariants.
+  util::Rng rng(2024);
+  Topology t(40, {.out_cap = 4, .in_cap = 6});
+  std::vector<std::pair<NodeId, NodeId>> alive;
+  for (int step = 0; step < 5000; ++step) {
+    if (!alive.empty() && rng.bernoulli(0.4)) {
+      const std::size_t i = rng.uniform_index(alive.size());
+      t.disconnect(alive[i].first, alive[i].second);
+      alive.erase(alive.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      const auto u = static_cast<NodeId>(rng.uniform_index(40));
+      const auto v = static_cast<NodeId>(rng.uniform_index(40));
+      if (t.connect(u, v)) alive.emplace_back(u, v);
+    }
+    if (step % 500 == 0) t.validate();
+  }
+  t.validate();
+  EXPECT_EQ(t.num_p2p_edges(), alive.size());
+}
+
+TEST(Topology, CapsAreReportedThroughLimits) {
+  Topology t(3, {.out_cap = 5, .in_cap = 9});
+  EXPECT_EQ(t.limits().out_cap, 5);
+  EXPECT_EQ(t.limits().in_cap, 9);
+}
+
+}  // namespace
+}  // namespace perigee::net

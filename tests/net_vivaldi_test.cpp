@@ -1,0 +1,125 @@
+#include "net/vivaldi.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "topo/coordinates.hpp"
+#include "topo/builders.hpp"
+
+namespace perigee::net {
+namespace {
+
+Network make_euclidean(std::size_t n, std::uint64_t seed) {
+  NetworkOptions options;
+  options.n = n;
+  options.seed = seed;
+  options.latency = NetworkOptions::LatencyKind::Euclidean;
+  options.embed_dim = 2;
+  options.embed_scale_ms = 100.0;
+  return Network::build(options);
+}
+
+TEST(Vivaldi, StartsAtOriginWithFullError) {
+  VivaldiSystem vivaldi(10);
+  for (NodeId v = 0; v < 10; ++v) {
+    EXPECT_DOUBLE_EQ(vivaldi.error(v), 1.0);
+    EXPECT_DOUBLE_EQ(vivaldi.estimated_distance(v, (v + 1) % 10), 0.0);
+  }
+}
+
+TEST(Vivaldi, SingleObservationMovesTowardTruth) {
+  VivaldiSystem vivaldi(2);
+  // Peer sits at the origin with full error; true rtt 100.
+  std::array<double, 8> origin{};
+  vivaldi.observe(0, 1, 100.0, 1.0, origin);
+  // Node 0 moved off the origin (coincident kick) by cc * w * rtt.
+  const double moved = vivaldi.estimated_distance(0, 1);
+  EXPECT_GT(moved, 0.0);
+  EXPECT_LE(moved, 100.0);
+}
+
+TEST(Vivaldi, ConvergesOnEuclideanNetwork) {
+  // True latencies come from a genuine 2-D embedding, so a 3-D Vivaldi must
+  // recover them to within a small relative error.
+  const auto network = make_euclidean(150, 5);
+  VivaldiParams params;
+  params.rounds = 60;
+  VivaldiSystem vivaldi(network.size(), params);
+  util::Rng rng(5);
+  vivaldi.run(network, rng);
+  util::Rng sample_rng(6);
+  const double err = vivaldi.mean_relative_error(network, sample_rng);
+  EXPECT_LT(err, 0.12);
+  // Error estimates became confident too.
+  double mean_conf = 0;
+  for (NodeId v = 0; v < network.size(); ++v) mean_conf += vivaldi.error(v);
+  EXPECT_LT(mean_conf / static_cast<double>(network.size()), 0.35);
+}
+
+TEST(Vivaldi, UsefulOnGeoNetworkDespiteNonMetricJitter) {
+  // The geo model violates the triangle inequality (per-pair jitter), so
+  // the embedding can't be exact — but it must still beat the "all
+  // distances are equal" null model by a wide margin.
+  NetworkOptions options;
+  options.n = 200;
+  options.seed = 7;
+  const auto network = Network::build(options);
+  VivaldiSystem vivaldi(network.size());
+  util::Rng rng(7);
+  vivaldi.run(network, rng);
+  util::Rng sample_rng(8);
+  EXPECT_LT(vivaldi.mean_relative_error(network, sample_rng), 0.45);
+}
+
+TEST(Vivaldi, EstimatedDistanceIsSymmetric) {
+  const auto network = make_euclidean(50, 9);
+  VivaldiSystem vivaldi(network.size());
+  util::Rng rng(9);
+  vivaldi.run(network, rng);
+  for (NodeId u = 0; u < 50; u += 7) {
+    for (NodeId v = 0; v < 50; v += 5) {
+      EXPECT_DOUBLE_EQ(vivaldi.estimated_distance(u, v),
+                       vivaldi.estimated_distance(v, u));
+    }
+  }
+}
+
+TEST(CoordinateGreedy, BuildsLowLatencyTopology) {
+  const auto network = make_euclidean(200, 11);
+  net::Topology t(200);
+  util::Rng rng(11);
+  topo::build_coordinate_greedy(t, network, rng);
+  t.validate();
+
+  // Outgoing links chosen by estimated coordinates must be much shorter on
+  // average than random ones.
+  net::Topology random_topo(200);
+  util::Rng rng2(11);
+  topo::build_random(random_topo, rng2);
+  auto avg_out = [&](const net::Topology& topo) {
+    double total = 0;
+    int count = 0;
+    for (NodeId v = 0; v < topo.size(); ++v) {
+      for (NodeId u : topo.out(v)) {
+        total += network.link_ms(v, u);
+        ++count;
+      }
+    }
+    return total / count;
+  };
+  EXPECT_LT(avg_out(t), 0.55 * avg_out(random_topo));
+}
+
+TEST(CoordinateGreedy, FillsSlots) {
+  const auto network = make_euclidean(100, 12);
+  net::Topology t(100);
+  util::Rng rng(12);
+  topo::build_coordinate_greedy(t, network, rng);
+  for (NodeId v = 0; v < t.size(); ++v) {
+    EXPECT_GE(t.out_count(v), t.limits().out_cap - 1);
+  }
+}
+
+}  // namespace
+}  // namespace perigee::net

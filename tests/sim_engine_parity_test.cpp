@@ -1,0 +1,106 @@
+// End-to-end parity between the fast analytic engine and the message-level
+// gossip engine as *learning substrates*: Perigee trained on INV timestamps
+// must reach conclusions equivalent to Perigee trained on the fast engine's
+// delivery times.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/experiment.hpp"
+#include "sim/gossip.hpp"
+#include "sim/rounds.hpp"
+#include "topo/builders.hpp"
+#include "util/stats.hpp"
+
+namespace perigee {
+namespace {
+
+TEST(EngineParity, GossipObservationsAreNormalizedPerBlock) {
+  net::NetworkOptions options;
+  options.n = 80;
+  options.seed = 3;
+  const auto network = net::Network::build(options);
+  net::Topology t(80);
+  util::Rng rng(3);
+  topo::build_random(t, rng);
+
+  sim::ObservationTable obs;
+  obs.begin_round(t, 2);
+  sim::GossipConfig config;
+  config.record_edge_times = true;
+  obs.record_gossip_block(sim::simulate_gossip(t, network, 5, config));
+  obs.record_gossip_block(sim::simulate_gossip(t, network, 50, config));
+
+  for (net::NodeId v = 0; v < t.size(); ++v) {
+    for (std::size_t b = 0; b < 2; ++b) {
+      double min_rel = util::kInf;
+      for (std::size_t i = 0; i < obs.neighbor_count(v); ++i) {
+        min_rel = std::min(min_rel, obs.rel_times(v, i)[b]);
+      }
+      EXPECT_DOUBLE_EQ(min_rel, 0.0) << "node " << v << " block " << b;
+    }
+  }
+}
+
+TEST(EngineParity, GossipTrainedPerigeeBeatsRandom) {
+  core::ExperimentConfig config;
+  config.net.n = 200;
+  config.rounds = 20;
+  config.blocks_per_round = 60;
+  config.seed = 4;
+  config.message_level = true;
+
+  config.algorithm = core::Algorithm::Random;
+  const double random = util::mean(core::run_experiment(config).lambda);
+  config.algorithm = core::Algorithm::PerigeeSubset;
+  const double subset = util::mean(core::run_experiment(config).lambda);
+  EXPECT_LT(subset, random * 0.94);
+}
+
+TEST(EngineParity, EnginesAgreeOnLearnedQuality) {
+  // Train with each engine, evaluate both topologies with the same fast
+  // metric: the message-level run must land within a modest band of the
+  // fast run (the engines rank neighbors by the same signal).
+  core::ExperimentConfig config;
+  config.net.n = 200;
+  config.rounds = 12;
+  config.blocks_per_round = 40;
+  config.seed = 5;
+  config.algorithm = core::Algorithm::PerigeeSubset;
+
+  config.message_level = false;
+  const double fast = util::mean(core::run_experiment(config).lambda);
+  config.message_level = true;
+  const double gossip = util::mean(core::run_experiment(config).lambda);
+  EXPECT_NEAR(gossip / fast, 1.0, 0.12);
+}
+
+TEST(EngineParity, BlockHookShimReportsFiniteArrivals) {
+  net::NetworkOptions options;
+  options.n = 60;
+  options.seed = 6;
+  const auto network = net::Network::build(options);
+  net::Topology t(60);
+  util::Rng rng(6);
+  topo::build_random(t, rng);
+  std::vector<std::unique_ptr<sim::NeighborSelector>> selectors;
+  for (int i = 0; i < 60; ++i) {
+    selectors.push_back(std::make_unique<sim::StaticSelector>());
+  }
+  sim::RoundRunner runner(network, t, std::move(selectors), 5, 6,
+                          sim::RoundRunner::Engine::Gossip);
+  int blocks = 0;
+  runner.set_block_hook([&](const sim::BroadcastResult& result) {
+    ++blocks;
+    EXPECT_DOUBLE_EQ(result.arrival[result.miner], 0.0);
+    for (net::NodeId v = 0; v < 60; ++v) {
+      EXPECT_TRUE(std::isfinite(result.arrival[v]));
+      EXPECT_GE(result.ready[v], result.arrival[v]);
+    }
+  });
+  runner.run_round();
+  EXPECT_EQ(blocks, 5);
+}
+
+}  // namespace
+}  // namespace perigee

@@ -1,0 +1,139 @@
+#include "sim/rounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/perigee.hpp"
+#include "sim/broadcast.hpp"
+#include "topo/builders.hpp"
+
+namespace perigee::sim {
+namespace {
+
+net::Network make_network(std::size_t n, std::uint64_t seed = 1) {
+  net::NetworkOptions options;
+  options.n = n;
+  options.seed = seed;
+  return net::Network::build(options);
+}
+
+std::vector<std::unique_ptr<NeighborSelector>> static_selectors(std::size_t n) {
+  std::vector<std::unique_ptr<NeighborSelector>> selectors;
+  for (std::size_t i = 0; i < n; ++i) {
+    selectors.push_back(std::make_unique<StaticSelector>());
+  }
+  return selectors;
+}
+
+TEST(RoundRunner, RunsConfiguredBlocks) {
+  const auto network = make_network(50);
+  net::Topology t(50);
+  util::Rng rng(1);
+  topo::build_random(t, rng);
+  RoundRunner runner(network, t, static_selectors(50), 7, 99);
+  runner.run_round();
+  EXPECT_EQ(runner.rounds_run(), 1u);
+  EXPECT_EQ(runner.observations().blocks_recorded(), 7u);
+  runner.run_rounds(3);
+  EXPECT_EQ(runner.rounds_run(), 4u);
+}
+
+TEST(RoundRunner, StaticSelectorsKeepTopologyFixed) {
+  const auto network = make_network(60);
+  net::Topology t(60);
+  util::Rng rng(2);
+  topo::build_random(t, rng);
+  const auto before = t.p2p_edges();
+  RoundRunner runner(network, t, static_selectors(60), 10, 3);
+  runner.run_rounds(5);
+  EXPECT_EQ(t.p2p_edges(), before);
+}
+
+TEST(RoundRunner, BlockHookSeesEveryBlock) {
+  const auto network = make_network(30);
+  net::Topology t(30);
+  util::Rng rng(3);
+  topo::build_random(t, rng);
+  RoundRunner runner(network, t, static_selectors(30), 12, 4);
+  int blocks = 0;
+  runner.set_block_hook([&](const BroadcastResult& result) {
+    ++blocks;
+    EXPECT_LT(result.miner, 30u);
+    EXPECT_DOUBLE_EQ(result.arrival[result.miner], 0.0);
+  });
+  runner.run_rounds(2);
+  EXPECT_EQ(blocks, 24);
+}
+
+TEST(RoundRunner, MinersFollowHashPower) {
+  auto network = make_network(40);
+  // Give node 5 the lion's share.
+  for (net::NodeId v = 0; v < 40; ++v) {
+    network.mutable_profiles()[v].hash_power = (v == 5) ? 0.9 : 0.1 / 39.0;
+  }
+  net::Topology t(40);
+  util::Rng rng(4);
+  topo::build_random(t, rng);
+  RoundRunner runner(network, t, static_selectors(40), 50, 5);
+  int from_five = 0, total = 0;
+  runner.set_block_hook([&](const BroadcastResult& result) {
+    ++total;
+    if (result.miner == 5) ++from_five;
+  });
+  runner.run_rounds(10);  // 500 blocks
+  EXPECT_NEAR(static_cast<double>(from_five) / total, 0.9, 0.05);
+}
+
+TEST(RoundRunner, RefreshHashPowerTakesEffect) {
+  auto network = make_network(30);
+  net::Topology t(30);
+  util::Rng rng(5);
+  topo::build_random(t, rng);
+  RoundRunner runner(network, t, static_selectors(30), 40, 6);
+  // Concentrate all hash power on node 0 *after* construction.
+  for (net::NodeId v = 0; v < 30; ++v) {
+    network.mutable_profiles()[v].hash_power = (v == 0) ? 1.0 : 0.0;
+  }
+  runner.refresh_hash_power();
+  int non_zero_miners = 0;
+  runner.set_block_hook([&](const BroadcastResult& result) {
+    if (result.miner != 0) ++non_zero_miners;
+  });
+  runner.run_rounds(3);
+  EXPECT_EQ(non_zero_miners, 0);
+}
+
+TEST(RoundRunner, DeterministicAcrossIdenticalRuns) {
+  const auto network = make_network(80, 7);
+  auto run_once = [&]() {
+    net::Topology t(80);
+    util::Rng rng(7);
+    topo::build_random(t, rng);
+    RoundRunner runner(network, t,
+                       core::make_selectors(80, core::Algorithm::PerigeeSubset),
+                       20, 7);
+    runner.run_rounds(5);
+    return t.p2p_edges();
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(RoundRunner, AdaptiveSelectorsRespectDegreeCaps) {
+  const auto network = make_network(100, 8);
+  net::Topology t(100);
+  util::Rng rng(8);
+  topo::build_random(t, rng);
+  RoundRunner runner(network, t,
+                     core::make_selectors(100, core::Algorithm::PerigeeSubset),
+                     15, 8);
+  runner.run_rounds(6);
+  t.validate();  // caps + symmetry + dedup all hold after heavy rewiring
+  for (net::NodeId v = 0; v < 100; ++v) {
+    EXPECT_LE(t.out_count(v), t.limits().out_cap);
+    EXPECT_LE(t.in_count(v), t.limits().in_cap);
+  }
+}
+
+}  // namespace
+}  // namespace perigee::sim

@@ -1,0 +1,215 @@
+#include "topo/builders.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <queue>
+
+namespace perigee::topo {
+namespace {
+
+net::Network make_network(std::size_t n, std::uint64_t seed = 1) {
+  net::NetworkOptions options;
+  options.n = n;
+  options.seed = seed;
+  return net::Network::build(options);
+}
+
+// Connected-component size via BFS over the union adjacency.
+std::size_t component_size(const net::Topology& t, net::NodeId start) {
+  std::vector<bool> seen(t.size(), false);
+  std::queue<net::NodeId> queue;
+  queue.push(start);
+  seen[start] = true;
+  std::size_t count = 0;
+  while (!queue.empty()) {
+    const net::NodeId u = queue.front();
+    queue.pop();
+    ++count;
+    for (const auto& link : t.adjacency(u)) {
+      if (!seen[link.peer]) {
+        seen[link.peer] = true;
+        queue.push(link.peer);
+      }
+    }
+  }
+  return count;
+}
+
+TEST(RandomTopology, FillsOutgoingSlots) {
+  net::Topology t(200);
+  util::Rng rng(1);
+  build_random(t, rng);
+  t.validate();
+  for (net::NodeId v = 0; v < t.size(); ++v) {
+    EXPECT_EQ(t.out_count(v), t.limits().out_cap);
+    EXPECT_LE(t.in_count(v), t.limits().in_cap);
+  }
+}
+
+TEST(RandomTopology, IsConnectedAtBitcoinDegree) {
+  // With dout=8 a 500-node random digraph is connected with overwhelming
+  // probability.
+  net::Topology t(500);
+  util::Rng rng(2);
+  build_random(t, rng);
+  EXPECT_EQ(component_size(t, 0), 500u);
+}
+
+TEST(RandomTopology, DeterministicInRng) {
+  net::Topology a(100), b(100);
+  util::Rng ra(3), rb(3);
+  build_random(a, ra);
+  build_random(b, rb);
+  EXPECT_EQ(a.p2p_edges(), b.p2p_edges());
+}
+
+TEST(DialRandomPeers, RespectsCount) {
+  net::Topology t(50);
+  util::Rng rng(4);
+  EXPECT_EQ(dial_random_peers(t, 7, 3, rng), 3);
+  EXPECT_EQ(t.out_count(7), 3);
+  t.validate();
+}
+
+TEST(DialRandomPeers, GivesUpGracefully) {
+  // 2 nodes: node 0 can only connect to node 1 once.
+  net::Topology t(2);
+  util::Rng rng(5);
+  const int made = dial_random_peers(t, 0, 5, rng);
+  EXPECT_EQ(made, 1);
+  EXPECT_EQ(t.out_count(0), 1);
+}
+
+TEST(GeoClusters, PrefersLocalRegion) {
+  const auto network = make_network(600, 7);
+  net::Topology t(600);
+  util::Rng rng(6);
+  build_geo_clusters(t, network, rng, 0.5);
+  t.validate();
+
+  std::size_t local = 0, total = 0;
+  for (const auto& [u, v] : t.p2p_edges()) {
+    ++total;
+    if (network.profile(u).region == network.profile(v).region) ++local;
+  }
+  // About half of the dials are local by construction; the random half also
+  // lands locally sometimes, so expect well above the random baseline.
+  const double frac = static_cast<double>(local) / static_cast<double>(total);
+  EXPECT_GT(frac, 0.45);
+
+  // Compare against a purely random topology: local fraction must be higher.
+  net::Topology r(600);
+  util::Rng rng2(6);
+  build_random(r, rng2);
+  std::size_t rlocal = 0, rtotal = 0;
+  for (const auto& [u, v] : r.p2p_edges()) {
+    ++rtotal;
+    if (network.profile(u).region == network.profile(v).region) ++rlocal;
+  }
+  EXPECT_GT(frac, static_cast<double>(rlocal) / static_cast<double>(rtotal));
+}
+
+TEST(GeoClusters, FullLocalFractionStillFillsSlots) {
+  const auto network = make_network(300, 8);
+  net::Topology t(300);
+  util::Rng rng(8);
+  build_geo_clusters(t, network, rng, 1.0);
+  t.validate();
+  for (net::NodeId v = 0; v < t.size(); ++v) {
+    // Small regions fall back to random dials, so slots still fill.
+    EXPECT_GE(t.out_count(v), t.limits().out_cap - 1);
+  }
+}
+
+TEST(Kademlia, FillsSlotsAndStaysValid) {
+  net::Topology t(300);
+  util::Rng rng(9);
+  build_kademlia(t, rng);
+  t.validate();
+  std::size_t filled = 0;
+  for (net::NodeId v = 0; v < t.size(); ++v) {
+    if (t.out_count(v) == t.limits().out_cap) ++filled;
+  }
+  // Bucket exhaustion plus declines can leave a handful short.
+  EXPECT_GT(filled, 290u);
+}
+
+TEST(Kademlia, IsConnected) {
+  net::Topology t(400);
+  util::Rng rng(10);
+  build_kademlia(t, rng);
+  EXPECT_EQ(component_size(t, 0), 400u);
+}
+
+TEST(GeometricThreshold, OnlyShortEdges) {
+  const auto network = make_network(150, 11);
+  net::Topology t(150, {.out_cap = 150, .in_cap = 150});
+  build_geometric_threshold(t, network, 60.0);
+  t.validate();
+  for (const auto& [u, v] : t.p2p_edges()) {
+    EXPECT_LT(network.link_ms(u, v), 60.0);
+  }
+}
+
+TEST(GeometricThreshold, ThresholdMonotone) {
+  const auto network = make_network(150, 12);
+  net::Topology small(150, {.out_cap = 150, .in_cap = 150});
+  net::Topology large(150, {.out_cap = 150, .in_cap = 150});
+  build_geometric_threshold(small, network, 40.0);
+  build_geometric_threshold(large, network, 80.0);
+  EXPECT_LT(small.num_p2p_edges(), large.num_p2p_edges());
+}
+
+TEST(KNearest, PicksLatencyMinimalPeersModuloDeclines) {
+  const auto network = make_network(120, 13);
+  net::Topology t(120);
+  util::Rng rng(13);
+  build_k_nearest(t, network, rng);
+  t.validate();
+  // The aggregate outgoing latency must sit far below the network-wide
+  // average: 6 of 8 dials per node are nearest-first (the other 2 are the
+  // random long links that keep the overlay connected).
+  double network_avg = 0;
+  int count = 0;
+  for (net::NodeId u = 0; u < 120; ++u) {
+    for (net::NodeId v = u + 1; v < 120; ++v) {
+      network_avg += network.link_ms(u, v);
+      ++count;
+    }
+  }
+  network_avg /= count;
+  double out_avg = 0;
+  int out_count = 0;
+  for (net::NodeId v = 0; v < t.size(); ++v) {
+    for (net::NodeId u : t.out(v)) {
+      out_avg += network.link_ms(v, u);
+      ++out_count;
+    }
+  }
+  out_avg /= out_count;
+  EXPECT_LT(out_avg, 0.6 * network_avg);
+}
+
+TEST(ErdosRenyi, EdgeCountNearExpectation) {
+  net::Topology t(200, {.out_cap = 200, .in_cap = 200});
+  util::Rng rng(14);
+  build_erdos_renyi(t, 0.05, rng);
+  t.validate();
+  const double expected = 0.05 * 200.0 * 199.0 / 2.0;  // ~995
+  const auto edges = static_cast<double>(t.num_p2p_edges());
+  EXPECT_NEAR(edges, expected, 5 * std::sqrt(expected));
+}
+
+TEST(ErdosRenyi, ZeroAndFullProbability) {
+  net::Topology none(20, {.out_cap = 20, .in_cap = 20});
+  util::Rng rng(15);
+  build_erdos_renyi(none, 0.0, rng);
+  EXPECT_EQ(none.num_p2p_edges(), 0u);
+  net::Topology full(20, {.out_cap = 20, .in_cap = 20});
+  build_erdos_renyi(full, 1.0, rng);
+  EXPECT_EQ(full.num_p2p_edges(), 190u);
+}
+
+}  // namespace
+}  // namespace perigee::topo

@@ -1,0 +1,150 @@
+#include "topo/relay.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <queue>
+
+namespace perigee::topo {
+namespace {
+
+net::Network make_network(std::size_t n) {
+  net::NetworkOptions options;
+  options.n = n;
+  options.seed = 17;
+  return net::Network::build(options);
+}
+
+TEST(Relay, InstallsRequestedMembers) {
+  auto network = make_network(300);
+  net::Topology t(300);
+  util::Rng rng(1);
+  RelayConfig config;
+  config.members = 50;
+  const auto relay = install_relay_tree(t, network, config, rng);
+  EXPECT_EQ(relay.members.size(), 50u);
+  t.validate();
+
+  // Exactly the members are flagged.
+  std::size_t flagged = 0;
+  for (net::NodeId v = 0; v < network.size(); ++v) {
+    if (network.profile(v).relay) ++flagged;
+  }
+  EXPECT_EQ(flagged, 50u);
+  for (net::NodeId v : relay.members) {
+    EXPECT_TRUE(network.profile(v).relay);
+  }
+}
+
+TEST(Relay, TreeHasMembersMinusOneEdges) {
+  auto network = make_network(200);
+  net::Topology t(200);
+  util::Rng rng(2);
+  RelayConfig config;
+  config.members = 64;
+  install_relay_tree(t, network, config, rng);
+  EXPECT_EQ(t.infra_edges().size(), 63u);
+  EXPECT_EQ(t.num_p2p_edges(), 0u);
+}
+
+TEST(Relay, TreeIsConnectedWithConfiguredLatency) {
+  auto network = make_network(150);
+  net::Topology t(150);
+  util::Rng rng(3);
+  RelayConfig config;
+  config.members = 40;
+  config.link_ms = 5.0;
+  const auto relay = install_relay_tree(t, network, config, rng);
+
+  // BFS over infra edges reaches all members.
+  std::vector<bool> seen(t.size(), false);
+  std::queue<net::NodeId> queue;
+  queue.push(relay.members[0]);
+  seen[relay.members[0]] = true;
+  std::size_t reached = 0;
+  while (!queue.empty()) {
+    const net::NodeId u = queue.front();
+    queue.pop();
+    ++reached;
+    for (const auto& link : t.adjacency(u)) {
+      ASSERT_TRUE(link.is_infra());
+      EXPECT_DOUBLE_EQ(link.infra_ms, 5.0);
+      if (!seen[link.peer]) {
+        seen[link.peer] = true;
+        queue.push(link.peer);
+      }
+    }
+  }
+  EXPECT_EQ(reached, 40u);
+}
+
+TEST(Relay, ScalesMemberValidation) {
+  auto network = make_network(100);
+  // Snapshot validation delays before installation.
+  std::vector<double> before;
+  for (net::NodeId v = 0; v < network.size(); ++v) {
+    before.push_back(network.validation_ms(v));
+  }
+  net::Topology t(100);
+  util::Rng rng(4);
+  RelayConfig config;
+  config.members = 25;
+  config.validation_scale = 0.1;
+  const auto relay = install_relay_tree(t, network, config, rng);
+  for (net::NodeId v = 0; v < network.size(); ++v) {
+    const bool member = std::find(relay.members.begin(), relay.members.end(),
+                                  v) != relay.members.end();
+    EXPECT_NEAR(network.validation_ms(v), member ? before[v] * 0.1 : before[v],
+                1e-12);
+  }
+}
+
+TEST(Relay, FanoutShapesDepth) {
+  auto network = make_network(300);
+  net::Topology binary_topo(300), wide_topo(300);
+  util::Rng rng1(5), rng2(5);
+  RelayConfig binary;
+  binary.members = 100;
+  binary.fanout = 2;
+  RelayConfig wide = binary;
+  wide.fanout = 8;
+  const auto rb = install_relay_tree(binary_topo, network, binary, rng1);
+
+  auto network2 = make_network(300);
+  const auto rw = install_relay_tree(wide_topo, network2, wide, rng2);
+
+  auto depth_from = [](const net::Topology& t, net::NodeId root) {
+    std::vector<int> depth(t.size(), -1);
+    std::queue<net::NodeId> queue;
+    queue.push(root);
+    depth[root] = 0;
+    int max_depth = 0;
+    while (!queue.empty()) {
+      const net::NodeId u = queue.front();
+      queue.pop();
+      max_depth = std::max(max_depth, depth[u]);
+      for (const auto& link : t.adjacency(u)) {
+        if (depth[link.peer] < 0) {
+          depth[link.peer] = depth[u] + 1;
+          queue.push(link.peer);
+        }
+      }
+    }
+    return max_depth;
+  };
+  EXPECT_GT(depth_from(binary_topo, rb.members[0]),
+            depth_from(wide_topo, rw.members[0]));
+}
+
+TEST(Relay, MembersCannotExceedNetwork) {
+  auto network = make_network(10);
+  net::Topology t(10);
+  util::Rng rng(6);
+  RelayConfig config;
+  config.members = 10;  // == n is allowed
+  const auto relay = install_relay_tree(t, network, config, rng);
+  EXPECT_EQ(relay.members.size(), 10u);
+}
+
+}  // namespace
+}  // namespace perigee::topo

@@ -1,0 +1,124 @@
+#include "topo/spanner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "metrics/stretch.hpp"
+#include "net/embedding.hpp"
+#include "topo/builders.hpp"
+#include "util/rng.hpp"
+
+namespace perigee::topo {
+namespace {
+
+net::Network make_square(std::size_t n, std::uint64_t seed) {
+  net::NetworkOptions options;
+  options.n = n;
+  options.seed = seed;
+  options.latency = net::NetworkOptions::LatencyKind::Euclidean;
+  options.embed_dim = 2;
+  options.embed_scale_ms = 1.0;
+  return net::Network::build(options);
+}
+
+TEST(ConeSpanner, StretchBoundFormula) {
+  // k = 8: 1/(1 - 2 sin(pi/8)) ~ 4.26; k = 12: ~ 2.07. Monotone decreasing.
+  EXPECT_NEAR(cone_spanner_stretch_bound(8),
+              1.0 / (1.0 - 2.0 * std::sin(std::numbers::pi / 8.0)), 1e-12);
+  EXPECT_GT(cone_spanner_stretch_bound(8), cone_spanner_stretch_bound(12));
+  EXPECT_GT(cone_spanner_stretch_bound(12), 1.0);
+}
+
+TEST(ConeSpanner, DegreeBoundedByCones) {
+  const auto network = make_square(300, 3);
+  net::Topology t(300, {.out_cap = 8, .in_cap = 300});
+  build_cone_spanner(t, network, 8, ConeGraphKind::Yao);
+  t.validate();
+  for (net::NodeId v = 0; v < t.size(); ++v) {
+    EXPECT_LE(t.out_count(v), 8);
+    // A node may own zero *outgoing* edges when every cone-best peer dialed
+    // it first (the reverse edge suppresses the duplicate), but the relay
+    // adjacency is never empty.
+    EXPECT_GE(t.adjacency(v).size(), 1u);
+  }
+}
+
+TEST(ConeSpanner, YaoKeepsNearestPerCone) {
+  // Hand geometry: node 0 at the center, two nodes in the same (east) cone
+  // at distances 10 and 20, one node west. Yao must pick the near east node
+  // and the west node.
+  net::NetworkOptions options;
+  options.n = 4;
+  options.latency = net::NetworkOptions::LatencyKind::Euclidean;
+  options.embed_dim = 2;
+  options.embed_scale_ms = 1.0;
+  auto network = net::Network::build(options);
+  auto& profiles = network.mutable_profiles();
+  profiles[0].coords = {0, 0, 0, 0, 0};
+  profiles[1].coords = {10, 1, 0, 0, 0};   // east, near
+  profiles[2].coords = {20, 2, 0, 0, 0};   // east, far (same cone for k=4)
+  profiles[3].coords = {-15, 1, 0, 0, 0};  // west
+
+  net::Topology t(4, {.out_cap = 4, .in_cap = 4});
+  build_cone_spanner(t, network, 4, ConeGraphKind::Yao);
+  EXPECT_TRUE(t.has_out(0, 1));
+  EXPECT_FALSE(t.has_out(0, 2));
+  EXPECT_TRUE(t.are_adjacent(0, 3));
+}
+
+TEST(ConeSpanner, EmpiricalStretchWithinTheBound) {
+  const auto network = make_square(400, 4);
+  for (const auto kind : {ConeGraphKind::Yao, ConeGraphKind::Theta}) {
+    net::Topology t(400, {.out_cap = 8, .in_cap = 400});
+    build_cone_spanner(t, network, 8, kind);
+    util::Rng rng(4);
+    const auto stats = metrics::measure_stretch(t, network, rng, 15, 0.05);
+    EXPECT_GT(stats.pairs, 0u);
+    EXPECT_EQ(stats.unreachable, 0u);  // cone graphs are connected
+    EXPECT_LE(stats.max, cone_spanner_stretch_bound(8) + 1e-9);
+    // In practice far below the worst case.
+    EXPECT_LT(stats.p90, 1.5);
+  }
+}
+
+TEST(ConeSpanner, StretchConstantAcrossSizes) {
+  // Like the geometric graph (Theorem 2), cone spanners keep constant
+  // stretch as n grows — with O(k n) edges instead of O(n log n).
+  double prev_p50 = 0;
+  for (std::size_t n : {200u, 800u}) {
+    const auto network = make_square(n, 5);
+    net::Topology t(n, {.out_cap = 8, .in_cap = static_cast<int>(n)});
+    build_cone_spanner(t, network, 8, ConeGraphKind::Yao);
+    util::Rng rng(5);
+    const auto stats = metrics::measure_stretch(t, network, rng, 10, 0.05);
+    EXPECT_LT(stats.p50, 1.25);
+    if (prev_p50 > 0) { EXPECT_NEAR(stats.p50, prev_p50, 0.15); }
+    prev_p50 = stats.p50;
+  }
+}
+
+TEST(ConeSpanner, ThetaAndYaoDiffer) {
+  const auto network = make_square(300, 6);
+  net::Topology yao(300, {.out_cap = 8, .in_cap = 300});
+  net::Topology theta(300, {.out_cap = 8, .in_cap = 300});
+  build_cone_spanner(yao, network, 8, ConeGraphKind::Yao);
+  build_cone_spanner(theta, network, 8, ConeGraphKind::Theta);
+  EXPECT_NE(yao.p2p_edges(), theta.p2p_edges());
+}
+
+TEST(ConeSpanner, MoreConesLowerStretch) {
+  const auto network = make_square(300, 7);
+  double p90_8 = 0, p90_16 = 0;
+  for (int cones : {8, 16}) {
+    net::Topology t(300, {.out_cap = cones, .in_cap = 300});
+    build_cone_spanner(t, network, cones, ConeGraphKind::Yao);
+    util::Rng rng(7);
+    const auto stats = metrics::measure_stretch(t, network, rng, 10, 0.05);
+    (cones == 8 ? p90_8 : p90_16) = stats.p90;
+  }
+  EXPECT_LE(p90_16, p90_8 + 1e-9);
+}
+
+}  // namespace
+}  // namespace perigee::topo

@@ -1,0 +1,86 @@
+#include "util/flags.hpp"
+
+#include <gtest/gtest.h>
+
+namespace perigee::util {
+namespace {
+
+Flags make_flags() {
+  Flags f;
+  f.add_int("nodes", 1000, "network size");
+  f.add_double("coverage", 0.9, "coverage");
+  f.add_string("algo", "subset", "algorithm");
+  f.add_bool("verbose", false, "verbosity");
+  return f;
+}
+
+TEST(Flags, DefaultsWithoutArgs) {
+  Flags f = make_flags();
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(f.parse(1, argv));
+  EXPECT_EQ(f.get_int("nodes"), 1000);
+  EXPECT_DOUBLE_EQ(f.get_double("coverage"), 0.9);
+  EXPECT_EQ(f.get_string("algo"), "subset");
+  EXPECT_FALSE(f.get_bool("verbose"));
+}
+
+TEST(Flags, EqualsSyntax) {
+  Flags f = make_flags();
+  const char* argv[] = {"prog", "--nodes=500", "--coverage=0.5",
+                        "--algo=ucb"};
+  ASSERT_TRUE(f.parse(4, argv));
+  EXPECT_EQ(f.get_int("nodes"), 500);
+  EXPECT_DOUBLE_EQ(f.get_double("coverage"), 0.5);
+  EXPECT_EQ(f.get_string("algo"), "ucb");
+}
+
+TEST(Flags, SpaceSyntax) {
+  Flags f = make_flags();
+  const char* argv[] = {"prog", "--nodes", "250"};
+  ASSERT_TRUE(f.parse(3, argv));
+  EXPECT_EQ(f.get_int("nodes"), 250);
+}
+
+TEST(Flags, BareBoolSetsTrue) {
+  Flags f = make_flags();
+  const char* argv[] = {"prog", "--verbose"};
+  ASSERT_TRUE(f.parse(2, argv));
+  EXPECT_TRUE(f.get_bool("verbose"));
+}
+
+TEST(Flags, BoolExplicitValue) {
+  Flags f = make_flags();
+  const char* argv[] = {"prog", "--verbose=false"};
+  ASSERT_TRUE(f.parse(2, argv));
+  EXPECT_FALSE(f.get_bool("verbose"));
+}
+
+TEST(Flags, UnknownFlagsCollected) {
+  Flags f = make_flags();
+  const char* argv[] = {"prog", "--benchmark_filter=all", "--nodes=9"};
+  ASSERT_TRUE(f.parse(3, argv));
+  EXPECT_EQ(f.get_int("nodes"), 9);
+  ASSERT_EQ(f.unknown().size(), 1u);
+  EXPECT_EQ(f.unknown()[0], "--benchmark_filter=all");
+}
+
+TEST(Flags, BadIntegerRejected) {
+  Flags f = make_flags();
+  const char* argv[] = {"prog", "--nodes=abc"};
+  EXPECT_FALSE(f.parse(2, argv));
+}
+
+TEST(Flags, HelpReturnsFalse) {
+  Flags f = make_flags();
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(f.parse(2, argv));
+}
+
+TEST(Flags, MissingValueAtEnd) {
+  Flags f = make_flags();
+  const char* argv[] = {"prog", "--nodes"};
+  EXPECT_FALSE(f.parse(2, argv));
+}
+
+}  // namespace
+}  // namespace perigee::util

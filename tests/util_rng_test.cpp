@@ -1,0 +1,212 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace perigee::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ZeroSeedIsValid) {
+  Rng r(0);
+  // Must not get stuck on a degenerate all-zero state.
+  std::set<std::uint64_t> values;
+  for (int i = 0; i < 50; ++i) values.insert(r.next_u64());
+  EXPECT_GT(values.size(), 45u);
+}
+
+TEST(Rng, SplitStreamsAreIndependentAndStable) {
+  Rng base(7);
+  Rng s1 = base.split(1);
+  Rng s2 = base.split(2);
+  Rng s1_again = base.split(1);
+  EXPECT_EQ(s1.next_u64(), s1_again.next_u64());
+  EXPECT_NE(s1.next_u64(), s2.next_u64());
+}
+
+TEST(Rng, SplitDoesNotAdvanceParent) {
+  Rng a(9), b(9);
+  (void)a.split(5);
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = r.uniform();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng r(4);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = r.uniform(5.0, 7.5);
+    EXPECT_GE(x, 5.0);
+    EXPECT_LT(x, 7.5);
+  }
+}
+
+TEST(Rng, UniformMeanIsCentered) {
+  Rng r(5);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += r.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.005);
+}
+
+TEST(Rng, UniformU64InclusiveBounds) {
+  Rng r(6);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto x = r.uniform_u64(3, 6);
+    EXPECT_GE(x, 3u);
+    EXPECT_LE(x, 6u);
+    saw_lo |= (x == 3);
+    saw_hi |= (x == 6);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformU64SingletonRange) {
+  Rng r(7);
+  EXPECT_EQ(r.uniform_u64(9, 9), 9u);
+}
+
+TEST(Rng, UniformU64IsUnbiased) {
+  Rng r(8);
+  std::vector<int> counts(5, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[r.uniform_u64(0, 4)];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 0.2, 0.01);
+  }
+}
+
+TEST(Rng, UniformIndexCoversRange) {
+  Rng r(9);
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(r.uniform_index(7));
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_EQ(*seen.rbegin(), 6u);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng r(10);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += r.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialMeanAndPositivity) {
+  Rng r(11);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.exponential(2.0);
+    EXPECT_GT(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 2.0, 0.05);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r(12);
+  const int n = 200000;
+  double sum = 0, sum2 = 0;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal(10.0, 3.0);
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(var, 9.0, 0.2);
+}
+
+TEST(Rng, LogUniformStaysInRange) {
+  Rng r(13);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = r.log_uniform(3.0, 186.0);
+    EXPECT_GE(x, 3.0);
+    EXPECT_LE(x, 186.0);
+  }
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng r(14);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[static_cast<std::size_t>(i)] = i;
+  auto copy = v;
+  r.shuffle(copy);
+  EXPECT_NE(copy, v);  // astronomically unlikely to be identity
+  std::sort(copy.begin(), copy.end());
+  EXPECT_EQ(copy, v);
+}
+
+TEST(Rng, SampleIndicesDistinctAndInRange) {
+  Rng r(15);
+  for (int trial = 0; trial < 50; ++trial) {
+    auto sample = r.sample_indices(20, 8);
+    EXPECT_EQ(sample.size(), 8u);
+    std::set<std::size_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), 8u);
+    for (auto idx : sample) EXPECT_LT(idx, 20u);
+  }
+}
+
+TEST(Rng, SampleIndicesFullSet) {
+  Rng r(16);
+  auto sample = r.sample_indices(5, 5);
+  std::sort(sample.begin(), sample.end());
+  EXPECT_EQ(sample, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(Rng, WeightedIndexRespectsWeights) {
+  Rng r(17);
+  const std::vector<double> w = {1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[r.weighted_index(w)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.25, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.01);
+}
+
+TEST(SplitMix, IsDeterministicAndMixes) {
+  EXPECT_EQ(splitmix64(1), splitmix64(1));
+  EXPECT_NE(splitmix64(1), splitmix64(2));
+  // Single-bit input changes flip about half of output bits on average.
+  int bits = std::popcount(splitmix64(0x1000) ^ splitmix64(0x1001));
+  EXPECT_GT(bits, 16);
+  EXPECT_LT(bits, 48);
+}
+
+TEST(HashCombine, OrderSensitive) {
+  EXPECT_NE(hash_combine(1, 2), hash_combine(2, 1));
+}
+
+}  // namespace
+}  // namespace perigee::util

@@ -1,0 +1,66 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "util/stats.hpp"
+
+namespace perigee::util {
+namespace {
+
+TEST(Fmt, Precision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(3.14159, 0), "3");
+  EXPECT_EQ(fmt(10.0), "10.0");
+}
+
+TEST(Fmt, SpecialValues) {
+  EXPECT_EQ(fmt(kInf), "inf");
+  EXPECT_EQ(fmt(-kInf), "-inf");
+  EXPECT_EQ(fmt(std::nan("")), "nan");
+}
+
+TEST(Table, AlignsColumns) {
+  Table t({"a", "bbbb"});
+  t.add_row({"1234", "x"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  // Header and row are present.
+  EXPECT_NE(out.find("bbbb"), std::string::npos);
+  EXPECT_NE(out.find("1234"), std::string::npos);
+  // Separator line exists.
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"x", "y"});
+  t.add_row({"1", "2"});
+  t.add_row({"3", "4"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "x,y\n1,2\n3,4\n");
+}
+
+TEST(Table, RowCount) {
+  Table t({"c"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"v"});
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(Table, RowWidthMismatchAborts) {
+  Table t({"a", "b"});
+  EXPECT_DEATH(t.add_row({"only-one"}), "row width");
+}
+
+TEST(Banner, Format) {
+  std::ostringstream os;
+  print_banner(os, "hello");
+  EXPECT_EQ(os.str(), "\n== hello ==\n");
+}
+
+}  // namespace
+}  // namespace perigee::util
