@@ -1,0 +1,308 @@
+// Unified sweep driver: runs any named figure grid (or a custom cartesian
+// grid over algorithm / n / rounds / hash model / validation scale / relay)
+// end-to-end on the parallel SweepRunner and writes BENCH_<name>.json.
+//
+//   perigee_sweep --figure fig3a --jobs 8
+//   perigee_sweep --algorithms random,perigee-subset,ideal
+//       --nodes 200,400 --seeds 3 --jobs 4 --json grid.json
+//
+// Results are bit-identical at any --jobs value; see src/runner/sweep.hpp.
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "metrics/curves.hpp"
+#include "runner/sweep.hpp"
+#include "util/flags.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace perigee;
+
+std::vector<std::string> split_csv(const std::string& text) {
+  std::vector<std::string> out;
+  std::stringstream ss(text);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+// stoull/stod abort the process on garbage; a CLI wants a clean error.
+std::optional<double> parse_number(const std::string& text) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(text, &used);
+    if (used != text.size()) return std::nullopt;
+    return v;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+struct Figure {
+  const char* name;
+  const char* what;
+  runner::SweepSpec (*make)();
+};
+
+runner::SweepSpec fig3a() {
+  runner::SweepSpec spec;
+  spec.name = "fig3a";
+  spec.base.net.n = 1000;
+  spec.base.rounds = 50;
+  spec.algorithms = {
+      core::Algorithm::Random,         core::Algorithm::Geographic,
+      core::Algorithm::Kademlia,       core::Algorithm::PerigeeVanilla,
+      core::Algorithm::PerigeeUcb,     core::Algorithm::PerigeeSubset,
+      core::Algorithm::Ideal,
+  };
+  return spec;
+}
+
+runner::SweepSpec fig3b() {
+  runner::SweepSpec spec = fig3a();
+  spec.name = "fig3b";
+  spec.base.net.n = 600;
+  spec.base.rounds = 40;
+  spec.base.hash_model = mining::HashPowerModel::Exponential;
+  return spec;
+}
+
+runner::SweepSpec fig4a() {
+  runner::SweepSpec spec;
+  spec.name = "fig4a";
+  spec.base.net.n = 600;
+  spec.base.rounds = 40;
+  spec.algorithms = {core::Algorithm::Random, core::Algorithm::PerigeeSubset,
+                     core::Algorithm::Ideal};
+  spec.validation_scales = {0.1, 0.5, 1.0, 5.0, 10.0};
+  return spec;
+}
+
+runner::SweepSpec fig4b() {
+  runner::SweepSpec spec;
+  spec.name = "fig4b";
+  spec.base.net.n = 600;
+  spec.base.rounds = 30;
+  spec.base.hash_model = mining::HashPowerModel::Pools;
+  spec.base.pool_latency_scale = 0.1;
+  spec.algorithms = {core::Algorithm::Random, core::Algorithm::Geographic,
+                     core::Algorithm::PerigeeSubset, core::Algorithm::Ideal};
+  return spec;
+}
+
+runner::SweepSpec fig4c() {
+  runner::SweepSpec spec;
+  spec.name = "fig4c";
+  spec.base.net.n = 600;
+  spec.base.rounds = 30;
+  spec.base.relay = true;
+  spec.algorithms = {core::Algorithm::Random, core::Algorithm::Geographic,
+                     core::Algorithm::PerigeeSubset, core::Algorithm::Ideal};
+  return spec;
+}
+
+// CI-sized smoke grid: every adaptive variant on a small network.
+runner::SweepSpec baseline() {
+  runner::SweepSpec spec;
+  spec.name = "baseline";
+  spec.base.net.n = 200;
+  spec.base.rounds = 10;
+  spec.algorithms = {core::Algorithm::Random, core::Algorithm::PerigeeVanilla,
+                     core::Algorithm::PerigeeUcb, core::Algorithm::PerigeeSubset,
+                     core::Algorithm::Ideal};
+  return spec;
+}
+
+constexpr Figure kFigures[] = {
+    {"fig3a", "uniform hash power, all algorithms (n=1000)", fig3a},
+    {"fig3b", "exponential hash power (n=600)", fig3b},
+    {"fig4a", "validation-delay scale sweep", fig4a},
+    {"fig4b", "mining pools with fast pool links", fig4b},
+    {"fig4c", "fast relay overlay present", fig4c},
+    {"baseline", "CI-sized smoke grid (n=200)", baseline},
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags;
+  flags.add_string("figure", "", "named grid (see --list)");
+  flags.add_bool("list", false, "list named figure grids and exit");
+  flags.add_string("name", "", "override sweep name (output file stem)");
+  flags.add_string("algorithms", "",
+                   "CSV algorithm axis, e.g. random,perigee-subset,ideal");
+  flags.add_string("nodes", "", "CSV network-size axis");
+  flags.add_string("rounds", "", "CSV learning-round axis");
+  flags.add_string("hash", "", "CSV hash-model axis: uniform,exponential,pools");
+  flags.add_string("vscales", "", "CSV validation-scale axis");
+  flags.add_string("relay", "", "CSV relay axis: on,off");
+  flags.add_int("seeds", 0, "repetitions per cell (0 = keep preset/default)");
+  flags.add_int("seed", 1, "base seed");
+  flags.add_double("coverage", 0.90, "hash-power coverage for lambda");
+  flags.add_int("jobs", 0, "worker threads (0 = all hardware threads)");
+  flags.add_string("json", "", "output path (default BENCH_<name>.json)");
+  if (!flags.parse(argc, argv)) return 1;
+
+  if (flags.get_bool("list")) {
+    for (const auto& figure : kFigures) {
+      std::cout << figure.name << "\t" << figure.what << "\n";
+    }
+    return 0;
+  }
+
+  runner::SweepSpec spec;
+  const std::string& figure_name = flags.get_string("figure");
+  if (!figure_name.empty()) {
+    bool found = false;
+    for (const auto& figure : kFigures) {
+      if (figure_name == figure.name) {
+        spec = figure.make();
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      std::cerr << "unknown figure '" << figure_name << "' (try --list)\n";
+      return 1;
+    }
+  }
+  // Default repetitions, applied after any figure preset so both preset and
+  // custom grids get multi-seed curves unless --seeds overrides.
+  spec.seeds = 2;
+
+  // Axis overrides from flags.
+  if (const auto& names = flags.get_string("algorithms"); !names.empty()) {
+    spec.algorithms.clear();
+    for (const auto& name : split_csv(names)) {
+      const auto algorithm = core::algorithm_from_name(name);
+      if (!algorithm) {
+        std::cerr << "unknown algorithm '" << name << "'; known:";
+        for (const auto a : core::all_algorithms()) {
+          std::cerr << ' ' << core::algorithm_name(a);
+        }
+        std::cerr << "\n";
+        return 1;
+      }
+      spec.algorithms.push_back(*algorithm);
+    }
+  }
+  if (const auto& csv = flags.get_string("nodes"); !csv.empty()) {
+    spec.nodes.clear();
+    for (const auto& item : split_csv(csv)) {
+      const auto v = parse_number(item);
+      if (!v || *v < 2 || *v != static_cast<std::size_t>(*v)) {
+        std::cerr << "bad --nodes value '" << item << "'\n";
+        return 1;
+      }
+      spec.nodes.push_back(static_cast<std::size_t>(*v));
+    }
+  }
+  if (const auto& csv = flags.get_string("rounds"); !csv.empty()) {
+    spec.rounds.clear();
+    for (const auto& item : split_csv(csv)) {
+      const auto v = parse_number(item);
+      if (!v || *v < 0 || *v != static_cast<int>(*v)) {
+        std::cerr << "bad --rounds value '" << item << "'\n";
+        return 1;
+      }
+      spec.rounds.push_back(static_cast<int>(*v));
+    }
+  }
+  if (const auto& csv = flags.get_string("hash"); !csv.empty()) {
+    spec.hash_models.clear();
+    for (const auto& item : split_csv(csv)) {
+      const auto model = mining::hash_model_from_name(item);
+      if (!model) {
+        std::cerr << "unknown hash model '" << item
+                  << "' (uniform, exponential, pools)\n";
+        return 1;
+      }
+      spec.hash_models.push_back(*model);
+    }
+  }
+  if (const auto& csv = flags.get_string("vscales"); !csv.empty()) {
+    spec.validation_scales.clear();
+    for (const auto& item : split_csv(csv)) {
+      const auto v = parse_number(item);
+      if (!v || *v <= 0) {
+        std::cerr << "bad --vscales value '" << item << "'\n";
+        return 1;
+      }
+      spec.validation_scales.push_back(*v);
+    }
+  }
+  if (const auto& csv = flags.get_string("relay"); !csv.empty()) {
+    spec.relay.clear();
+    for (const auto& item : split_csv(csv)) {
+      if (item != "on" && item != "off") {
+        std::cerr << "relay axis values are 'on' and 'off'\n";
+        return 1;
+      }
+      spec.relay.push_back(item == "on");
+    }
+  }
+  if (const auto seeds = static_cast<int>(flags.get_int("seeds")); seeds > 0) {
+    spec.seeds = seeds;
+  }
+  spec.base.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  spec.base.coverage = flags.get_double("coverage");
+  if (const auto& name = flags.get_string("name"); !name.empty()) {
+    spec.name = name;
+  }
+
+  const runner::SweepRunner sweep_runner(
+      static_cast<int>(flags.get_int("jobs")));
+  const std::size_t cell_count = runner::expand_grid(spec).size();
+  std::cerr << "sweep '" << spec.name << "': " << cell_count << " cells x "
+            << spec.seeds << " seeds on " << sweep_runner.workers()
+            << " workers\n";
+
+  const auto result = sweep_runner.run(
+      spec, [](std::size_t done, std::size_t total) {
+        std::cerr << "\r" << done << "/" << total << " jobs" << std::flush;
+      });
+  std::cerr << "\n";
+
+  // Terminal summary: sorted-λ means at the paper's error-bar indices.
+  if (!result.cells.empty()) {
+    const std::size_t n = result.cells.front().curve.mean.size();
+    std::vector<std::string> header = {"cell"};
+    for (const std::size_t idx : metrics::errorbar_indices(n)) {
+      header.push_back("node " + std::to_string(idx));
+    }
+    header.push_back("mean");
+    util::Table table(header);
+    for (const auto& cell : result.cells) {
+      std::vector<std::string> row = {cell.cell.label};
+      if (cell.curve.mean.size() == n) {
+        for (const std::size_t idx : metrics::errorbar_indices(n)) {
+          row.push_back(util::fmt(cell.curve.mean[idx]));
+        }
+      } else {
+        // Mixed-n grids: per-cell indices differ, show the mean only.
+        for (std::size_t i = 0; i < metrics::errorbar_indices(n).size(); ++i) {
+          row.push_back("-");
+        }
+      }
+      row.push_back(util::fmt(metrics::curve_mean(cell.curve)));
+      table.add_row(std::move(row));
+    }
+    table.print(std::cout);
+  }
+
+  std::string path = flags.get_string("json");
+  if (path.empty()) path = runner::default_json_path(spec);
+  if (!runner::write_json_file(path, spec, result)) {
+    std::cerr << "cannot write " << path << "\n";
+    return 1;
+  }
+  std::cerr << "wrote " << path << "\n";
+  return 0;
+}

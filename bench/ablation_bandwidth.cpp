@@ -14,7 +14,9 @@ int main(int argc, char** argv) {
   flags.add_double("block_kb", 1000.0, "block size in KB");
   if (!flags.parse(argc, argv)) return 1;
   const int seeds = static_cast<int>(flags.get_int("seeds"));
+  const int jobs = bench::jobs_from_flags(flags);
 
+  std::vector<bench::NamedCurve> json_curves;
   for (const bool heterogeneous : {false, true}) {
     core::ExperimentConfig config = bench::config_from_flags(flags);
     config.net.heterogeneous_bandwidth = heterogeneous;
@@ -31,8 +33,12 @@ int main(int argc, char** argv) {
          {core::Algorithm::Random, core::Algorithm::Geographic,
           core::Algorithm::PerigeeSubset}) {
       config.algorithm = algorithm;
-      const auto result = core::run_multi_seed(config, seeds);
+      const auto result = core::run_multi_seed(config, seeds, jobs);
       if (algorithm == core::Algorithm::Random) random = result.curve;
+      json_curves.push_back(
+          {std::string(heterogeneous ? "hetero " : "baseline ") +
+               std::string(core::algorithm_name(algorithm)),
+           result.curve});
       const std::size_t mid = result.curve.mean.size() / 2;
       table.add_row(
           {std::string(core::algorithm_name(algorithm)),
@@ -49,5 +55,7 @@ int main(int argc, char** argv) {
                "all gains — but Perigee, whose timestamps fold bandwidth in "
                "automatically, retains roughly twice the advantage of the "
                "bandwidth-blind geographic policy.\n";
+  if (!bench::write_json_if_requested(flags, "Ablation - bandwidth heterogeneity",
+                                 json_curves)) return 1;
   return 0;
 }

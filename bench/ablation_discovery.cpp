@@ -11,19 +11,22 @@ int main(int argc, char** argv) {
   bench::add_common_flags(flags, 600, 40, 2);
   if (!flags.parse(argc, argv)) return 1;
   const int seeds = static_cast<int>(flags.get_int("seeds"));
+  const int jobs = bench::jobs_from_flags(flags);
 
   // Full-knowledge baselines for context.
   core::ExperimentConfig base = bench::config_from_flags(flags);
   base.algorithm = core::Algorithm::Random;
-  const auto random = core::run_multi_seed(base, seeds);
+  const auto random = core::run_multi_seed(base, seeds, jobs);
   base.algorithm = core::Algorithm::PerigeeSubset;
-  const auto full_view = core::run_multi_seed(base, seeds);
+  const auto full_view = core::run_multi_seed(base, seeds, jobs);
   const std::size_t mid = random.curve.mean.size() / 2;
 
   util::print_banner(std::cout,
                      "Ablation - peer discovery with bounded address books "
                      "(perigee-subset)");
   util::Table table({"address book", "median lambda90", "vs random"});
+  std::vector<bench::NamedCurve> json_curves = {
+      {"random", random.curve}, {"full knowledge", full_view.curve}};
   table.add_row({"(random baseline)", util::fmt(random.curve.mean[mid]),
                  "0.0%"});
   table.add_row(
@@ -38,7 +41,9 @@ int main(int argc, char** argv) {
     config.partial_view = true;
     config.addrman_capacity = capacity;
     config.addrman_bootstrap = std::min<std::size_t>(capacity / 2 + 1, 30);
-    const auto result = core::run_multi_seed(config, seeds);
+    const auto result = core::run_multi_seed(config, seeds, jobs);
+    json_curves.push_back(
+        {"capacity=" + std::to_string(capacity), result.curve});
     table.add_row(
         {std::to_string(capacity) + " addrs",
          util::fmt(result.curve.mean[mid]),
@@ -55,5 +60,7 @@ int main(int argc, char** argv) {
                "*some* randomness, not a global view. The \"every node "
                "knows all IPs\" assumption of the paper's evaluation is "
                "thus harmless.\n";
+  if (!bench::write_json_if_requested(flags, "Ablation - peer discovery",
+                                 json_curves)) return 1;
   return 0;
 }

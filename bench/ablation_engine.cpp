@@ -11,21 +11,25 @@ int main(int argc, char** argv) {
   bench::add_common_flags(flags, 400, 25, 2);
   if (!flags.parse(argc, argv)) return 1;
   const int seeds = static_cast<int>(flags.get_int("seeds"));
+  const int jobs = bench::jobs_from_flags(flags);
 
   core::ExperimentConfig config = bench::config_from_flags(flags);
   config.algorithm = core::Algorithm::Random;
-  const auto random = core::run_multi_seed(config, seeds);
+  const auto random = core::run_multi_seed(config, seeds, jobs);
   const std::size_t mid = random.curve.mean.size() / 2;
 
   util::print_banner(std::cout,
                      "Ablation - learning engine (perigee-subset)");
   util::Table table({"observation source", "median lambda90", "vs random"});
+  std::vector<bench::NamedCurve> json_curves = {{"random", random.curve}};
   table.add_row({"(random baseline)", util::fmt(random.curve.mean[mid]),
                  "0.0%"});
   for (const bool message_level : {false, true}) {
     config.algorithm = core::Algorithm::PerigeeSubset;
     config.message_level = message_level;
-    const auto result = core::run_multi_seed(config, seeds);
+    const auto result = core::run_multi_seed(config, seeds, jobs);
+    json_curves.push_back(
+        {message_level ? "gossip" : "fast", result.curve});
     table.add_row(
         {message_level ? "gossip INV timestamps" : "fast engine deliveries",
          util::fmt(result.curve.mean[mid]),
@@ -39,5 +43,7 @@ int main(int argc, char** argv) {
   std::cout << "\nExpected shape: both observation sources rank neighbors by "
                "the same signal, so the learned improvements agree closely - "
                "validating the fast abstraction used by the figure benches.\n";
+  if (!bench::write_json_if_requested(flags, "Ablation - learning engine",
+                                 json_curves)) return 1;
   return 0;
 }

@@ -11,16 +11,19 @@ int main(int argc, char** argv) {
   bench::add_common_flags(flags, 600, 40, 2);
   if (!flags.parse(argc, argv)) return 1;
   const int seeds = static_cast<int>(flags.get_int("seeds"));
+  const int jobs = bench::jobs_from_flags(flags);
 
   util::print_banner(
       std::cout, "Ablation - exploration slots ev (perigee-subset, dout = 8)");
   util::Table table({"ev", "keep", "median lambda90", "mean lambda90"});
+  std::vector<bench::NamedCurve> json_curves;
   for (int explore : {0, 1, 2, 4}) {
     core::ExperimentConfig config = bench::config_from_flags(flags);
     config.algorithm = core::Algorithm::PerigeeSubset;
     config.params.explore = explore;
     config.params.keep = config.limits.out_cap - explore;
-    const auto result = core::run_multi_seed(config, seeds);
+    const auto result = core::run_multi_seed(config, seeds, jobs);
+    json_curves.push_back({"ev=" + std::to_string(explore), result.curve});
     const std::size_t mid = result.curve.mean.size() / 2;
     table.add_row({std::to_string(explore),
                    std::to_string(config.params.keep),
@@ -31,5 +34,7 @@ int main(int argc, char** argv) {
   table.print(std::cout);
   std::cout << "\nExpected shape: a small positive ev (the paper uses 2) "
                "beats both extremes.\n";
+  if (!bench::write_json_if_requested(flags, "Ablation - exploration slots",
+                                 json_curves)) return 1;
   return 0;
 }

@@ -10,23 +10,32 @@ int main(int argc, char** argv) {
   util::Flags flags;
   bench::add_common_flags(flags, 600, 40, 1);
   if (!flags.parse(argc, argv)) return 1;
+  const int seeds = static_cast<int>(flags.get_int("seeds"));
+  const int jobs = bench::jobs_from_flags(flags);
 
   util::print_banner(std::cout,
                      "Ablation - incremental deployment of perigee-subset");
   util::Table table({"adopters", "adopter mean lambda90",
                      "holdout mean lambda90", "adopter advantage"});
+  std::vector<bench::NamedCurve> json_curves;
   for (double fraction : {0.10, 0.25, 0.50, 0.75, 0.90}) {
     core::ExperimentConfig config = bench::config_from_flags(flags);
-    const auto result = core::run_incremental(config, fraction);
-    const double adopters = util::mean(result.lambda_adopters);
-    const double holdouts = util::mean(result.lambda_others);
+    const auto result =
+        core::run_incremental_multi_seed(config, fraction, seeds, jobs);
+    const double adopters = metrics::curve_mean(result.adopters);
+    const double holdouts = metrics::curve_mean(result.others);
     table.add_row({util::fmt(100.0 * fraction, 0) + "%", util::fmt(adopters),
                    util::fmt(holdouts),
                    util::fmt(100.0 * (1.0 - adopters / holdouts), 1) + "%"});
+    const std::string prefix = "f=" + util::fmt(fraction, 2) + " ";
+    json_curves.push_back({prefix + "adopters", result.adopters});
+    json_curves.push_back({prefix + "holdouts", result.others});
     std::cerr << "done: fraction=" << fraction << "\n";
   }
   table.print(std::cout);
   std::cout << "\nExpected shape: a positive adopter advantage at every "
                "adoption level - following Perigee pays off unilaterally.\n";
+  if (!bench::write_json_if_requested(flags, "Ablation - incremental deployment",
+                                 json_curves)) return 1;
   return 0;
 }

@@ -10,9 +10,11 @@ int main(int argc, char** argv) {
   bench::add_common_flags(flags, 600, 40, 2);  // budget = 40 * 100 blocks
   if (!flags.parse(argc, argv)) return 1;
   const int seeds = static_cast<int>(flags.get_int("seeds"));
+  const int jobs = bench::jobs_from_flags(flags);
   const int budget =
       static_cast<int>(flags.get_int("rounds")) * net::kDefaultBlocksPerRound;
 
+  std::vector<bench::NamedCurve> json_curves;
   for (const auto algorithm :
        {core::Algorithm::PerigeeVanilla, core::Algorithm::PerigeeSubset}) {
     util::print_banner(std::cout,
@@ -26,7 +28,10 @@ int main(int argc, char** argv) {
       config.algorithm = algorithm;
       config.blocks_per_round = blocks;
       config.rounds = budget / blocks;
-      const auto result = core::run_multi_seed(config, seeds);
+      const auto result = core::run_multi_seed(config, seeds, jobs);
+      json_curves.push_back({std::string(core::algorithm_name(algorithm)) +
+                                 " |B|=" + std::to_string(blocks),
+                             result.curve});
       const std::size_t mid = result.curve.mean.size() / 2;
       table.add_row({std::to_string(blocks), std::to_string(config.rounds),
                      util::fmt(result.curve.mean[mid]),
@@ -39,5 +44,6 @@ int main(int argc, char** argv) {
                "percentiles and churns good neighbors; very large |B| "
                "converges in too few updates. The paper's |B| = 100 sits "
                "near the sweet spot.\n";
+  if (!bench::write_json_if_requested(flags, "Ablation - round size", json_curves)) return 1;
   return 0;
 }

@@ -10,21 +10,24 @@ int main(int argc, char** argv) {
   bench::add_common_flags(flags, 500, 30, 1);
   if (!flags.parse(argc, argv)) return 1;
   const int seeds = static_cast<int>(flags.get_int("seeds"));
+  const int jobs = bench::jobs_from_flags(flags);
 
   // Random baseline for context.
   core::ExperimentConfig base = bench::config_from_flags(flags);
   base.algorithm = core::Algorithm::Random;
-  const auto random = core::run_multi_seed(base, seeds);
+  const auto random = core::run_multi_seed(base, seeds, jobs);
   const std::size_t mid = random.curve.mean.size() / 2;
 
   util::print_banner(std::cout, "Ablation - UCB confidence constant c (ms)");
   util::Table table({"c", "median lambda90", "vs random"});
+  std::vector<bench::NamedCurve> json_curves = {{"random", random.curve}};
   table.add_row({"(random)", util::fmt(random.curve.mean[mid]), "0.0%"});
   for (double c : {30.0, 100.0, 300.0, 1000.0, 3000.0}) {
     core::ExperimentConfig config = bench::config_from_flags(flags);
     config.algorithm = core::Algorithm::PerigeeUcb;
     config.params.ucb_c = c;
-    const auto result = core::run_multi_seed(config, seeds);
+    const auto result = core::run_multi_seed(config, seeds, jobs);
+    json_curves.push_back({"c=" + util::fmt(c, 0), result.curve});
     table.add_row(
         {util::fmt(c, 0), util::fmt(result.curve.mean[mid]),
          util::fmt(100.0 * metrics::improvement_at(result.curve, random.curve,
@@ -36,5 +39,7 @@ int main(int argc, char** argv) {
   table.print(std::cout);
   std::cout << "\nExpected shape: intermediate c wins; c -> infinity "
                "degenerates to the (frozen) random topology.\n";
+  if (!bench::write_json_if_requested(flags, "Ablation - UCB confidence constant",
+                                 json_curves)) return 1;
   return 0;
 }

@@ -14,6 +14,7 @@ int main(int argc, char** argv) {
   bench::add_common_flags(flags, 600, 40, 2);
   if (!flags.parse(argc, argv)) return 1;
   const int seeds = static_cast<int>(flags.get_int("seeds"));
+  const int jobs = bench::jobs_from_flags(flags);
 
   core::ExperimentConfig config = bench::config_from_flags(flags);
 
@@ -27,7 +28,7 @@ int main(int argc, char** argv) {
   std::vector<bench::NamedCurve> curves;
   for (const auto& [algorithm, name] : algorithms) {
     config.algorithm = algorithm;
-    curves.push_back({name, core::run_multi_seed(config, seeds).curve});
+    curves.push_back({name, core::run_multi_seed(config, seeds, jobs).curve});
     std::cerr << "done: " << name << "\n";
   }
   bench::print_curves(std::cout,
@@ -38,5 +39,7 @@ int main(int argc, char** argv) {
   std::cout << "\nExpected shape: coordinate-greedy lands close to the "
                "true-latency oracle (Vivaldi embeds well) yet both trail "
                "perigee-subset - latency is not the whole objective.\n";
+  if (!bench::write_json_if_requested(flags, "Explicit-coordinate baselines",
+                                 curves)) return 1;
   return 0;
 }

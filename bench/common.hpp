@@ -3,12 +3,14 @@
 // curves sampled at the paper's error-bar node indices).
 #pragma once
 
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "core/experiment.hpp"
 #include "metrics/curves.hpp"
+#include "runner/json.hpp"
 #include "util/flags.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -20,7 +22,9 @@ struct NamedCurve {
   metrics::Curve curve;
 };
 
-// Registers the flags shared by every figure bench.
+// Registers the flags shared by every figure bench, including the runner
+// plumbing: --jobs N fans multi-seed runs across a work-stealing pool
+// (results are bit-identical at any value), --json <path> dumps the curves.
 inline void add_common_flags(util::Flags& flags, int default_nodes,
                              int default_rounds, int default_seeds) {
   flags.add_int("nodes", default_nodes, "network size");
@@ -29,6 +33,12 @@ inline void add_common_flags(util::Flags& flags, int default_nodes,
   flags.add_int("seeds", default_seeds, "independent repetitions");
   flags.add_int("seed", 1, "base seed");
   flags.add_double("coverage", 0.90, "hash-power coverage for lambda");
+  flags.add_int("jobs", 0, "worker threads (0 = all hardware threads)");
+  flags.add_string("json", "", "also write curves to this JSON file");
+}
+
+inline int jobs_from_flags(const util::Flags& flags) {
+  return static_cast<int>(flags.get_int("jobs"));
 }
 
 inline core::ExperimentConfig config_from_flags(const util::Flags& flags) {
@@ -40,16 +50,61 @@ inline core::ExperimentConfig config_from_flags(const util::Flags& flags) {
   return config;
 }
 
-// Ideal curve via run_ideal across seeds.
-inline metrics::Curve ideal_curve(core::ExperimentConfig config,
-                                  int num_seeds) {
-  std::vector<std::vector<double>> runs;
-  const std::uint64_t base = config.seed;
-  for (int s = 0; s < num_seeds; ++s) {
-    config.seed = base + static_cast<std::uint64_t>(s);
-    runs.push_back(core::run_ideal(config));
+// Ideal curve via run_ideal across seeds (parallel across seeds when
+// jobs != 1, same determinism contract as run_multi_seed).
+inline metrics::Curve ideal_curve(const core::ExperimentConfig& config,
+                                  int num_seeds, int jobs = 1) {
+  return core::run_ideal_multi_seed(config, num_seeds, jobs);
+}
+
+// Writes named curve sets as deterministic JSON when --json was given.
+// Each set is {"name": ..., "curves": [{"name", "mean", "stddev"}, ...]}.
+// Returns false when the file cannot be written, so benches can exit
+// nonzero instead of silently succeeding in a pipeline.
+struct CurveSet {
+  std::string name;
+  const std::vector<NamedCurve>* curves = nullptr;
+};
+
+inline bool write_json_if_requested(const util::Flags& flags,
+                                    const std::string& title,
+                                    const std::vector<CurveSet>& sets) {
+  const std::string& path = flags.get_string("json");
+  if (path.empty()) return true;
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "cannot write " << path << "\n";
+    return false;
   }
-  return metrics::aggregate_sorted_curves(std::move(runs));
+  runner::JsonWriter w(os);
+  w.begin_object();
+  w.field("title", title);
+  for (const CurveSet& set : sets) {
+    w.key(set.name);
+    w.begin_array();
+    for (const NamedCurve& c : *set.curves) {
+      w.begin_object();
+      w.field("name", c.name);
+      w.field("mean", c.curve.mean);
+      w.field("stddev", c.curve.stddev);
+      w.end_object();
+    }
+    w.end_array();
+  }
+  w.end_object();
+  os << '\n';
+  if (!os.good()) {
+    std::cerr << "error writing " << path << "\n";
+    return false;
+  }
+  std::cerr << "wrote " << path << "\n";
+  return true;
+}
+
+inline bool write_json_if_requested(const util::Flags& flags,
+                                    const std::string& title,
+                                    const std::vector<NamedCurve>& curves) {
+  return write_json_if_requested(flags, title, {{"curves", &curves}});
 }
 
 // Prints the sorted-λ curves sampled at the paper's error-bar indices

@@ -1,8 +1,12 @@
 // Convergence behaviour (§5.2 text): the 90-percentile delays converge as
 // rounds accumulate; the 50-percentile delays need not improve monotonically
-// because Perigee optimizes the 90th percentile only.
+// because Perigee optimizes the 90th percentile only. The two algorithm
+// traces are independent, so they run as parallel jobs on the sweep pool.
+#include <array>
+
 #include "common.hpp"
 #include "metrics/eval.hpp"
+#include "runner/thread_pool.hpp"
 #include "sim/rounds.hpp"
 #include "topo/builders.hpp"
 
@@ -13,9 +17,21 @@ int main(int argc, char** argv) {
   bench::add_common_flags(flags, 600, 50, 1);
   flags.add_int("checkpoint_every", 10, "evaluate every N rounds");
   if (!flags.parse(argc, argv)) return 1;
+  const int jobs = bench::jobs_from_flags(flags);
+  const int every = static_cast<int>(flags.get_int("checkpoint_every"));
 
-  for (const auto algorithm :
-       {core::Algorithm::PerigeeVanilla, core::Algorithm::PerigeeSubset}) {
+  const std::array algorithms = {core::Algorithm::PerigeeVanilla,
+                                 core::Algorithm::PerigeeSubset};
+  struct Trace {
+    std::vector<std::vector<std::string>> rows;
+    std::vector<double> mean90;  // one entry per checkpoint, for --json
+  };
+  std::array<Trace, algorithms.size()> traces;
+
+  runner::ThreadPool pool(std::min<unsigned>(
+      runner::resolve_jobs(jobs), static_cast<unsigned>(algorithms.size())));
+  runner::parallel_for(pool, algorithms.size(), [&](std::size_t i) {
+    const auto algorithm = algorithms[i];
     core::ExperimentConfig config = bench::config_from_flags(flags);
     config.algorithm = algorithm;
 
@@ -27,23 +43,36 @@ int main(int argc, char** argv) {
                              config.params),
         config.blocks_per_round, config.seed);
 
-    util::print_banner(std::cout,
-                       std::string("convergence - ") +
-                           std::string(core::algorithm_name(algorithm)));
-    util::Table table({"round", "mean lambda90", "median lambda90",
-                       "mean lambda50"});
-    const int every = static_cast<int>(flags.get_int("checkpoint_every"));
     for (int round = 0; round <= config.rounds; round += every) {
       if (round > 0) runner.run_rounds(every);
       const auto l90 = metrics::eval_all_sources(scenario.topology,
                                                  scenario.network, 0.9);
       const auto l50 = metrics::eval_all_sources(scenario.topology,
                                                  scenario.network, 0.5);
-      table.add_row({std::to_string(round), util::fmt(util::mean(l90)),
-                     util::fmt(util::percentile(l90, 0.5)),
-                     util::fmt(util::mean(l50))});
+      traces[i].rows.push_back({std::to_string(round),
+                                util::fmt(util::mean(l90)),
+                                util::fmt(util::percentile(l90, 0.5)),
+                                util::fmt(util::mean(l50))});
+      traces[i].mean90.push_back(util::mean(l90));
     }
+  });
+
+  std::vector<bench::NamedCurve> json_curves;
+  for (std::size_t i = 0; i < algorithms.size(); ++i) {
+    util::print_banner(std::cout,
+                       std::string("convergence - ") +
+                           std::string(core::algorithm_name(algorithms[i])));
+    util::Table table({"round", "mean lambda90", "median lambda90",
+                       "mean lambda50"});
+    for (auto& row : traces[i].rows) table.add_row(std::move(row));
     table.print(std::cout);
+    // JSON: mean λ90 per checkpoint (the convergence trace itself).
+    json_curves.push_back(
+        {std::string(core::algorithm_name(algorithms[i])),
+         metrics::Curve{traces[i].mean90,
+                        std::vector<double>(traces[i].mean90.size(), 0.0)}});
   }
+  if (!bench::write_json_if_requested(flags, "Convergence traces (mean lambda90)",
+                                 json_curves)) return 1;
   return 0;
 }

@@ -12,6 +12,7 @@ int main(int argc, char** argv) {
   bench::add_common_flags(flags, 1000, 50, 2);
   if (!flags.parse(argc, argv)) return 1;
   const int seeds = static_cast<int>(flags.get_int("seeds"));
+  const int jobs = bench::jobs_from_flags(flags);
 
   core::ExperimentConfig config = bench::config_from_flags(flags);
   config.hash_model = mining::HashPowerModel::Uniform;
@@ -28,12 +29,12 @@ int main(int argc, char** argv) {
   std::vector<bench::NamedCurve> curves90, curves50;
   for (const auto& [algorithm, name] : algorithms) {
     config.algorithm = algorithm;
-    auto result = core::run_multi_seed(config, seeds);
+    auto result = core::run_multi_seed(config, seeds, jobs);
     curves90.push_back({name, std::move(result.curve)});
     curves50.push_back({name, std::move(result.curve50)});
     std::cerr << "done: " << name << "\n";
   }
-  curves90.push_back({"ideal", bench::ideal_curve(config, seeds)});
+  curves90.push_back({"ideal", bench::ideal_curve(config, seeds, jobs)});
 
   bench::print_curves(std::cout,
                       "Figure 3(a) - uniform hash power, 90% coverage (ms)",
@@ -42,5 +43,8 @@ int main(int argc, char** argv) {
   bench::print_curves(std::cout,
                       "Figure 3(a) - uniform hash power, 50% coverage (ms)",
                       curves50);
+  if (!bench::write_json_if_requested(flags, "Figure 3(a) - uniform hash power",
+                                 {{"curves90", &curves90},
+                                  {"curves50", &curves50}})) return 1;
   return 0;
 }

@@ -9,6 +9,7 @@ int main(int argc, char** argv) {
   bench::add_common_flags(flags, 600, 40, 2);
   if (!flags.parse(argc, argv)) return 1;
   const int seeds = static_cast<int>(flags.get_int("seeds"));
+  const int jobs = bench::jobs_from_flags(flags);
 
   core::ExperimentConfig config = bench::config_from_flags(flags);
   config.hash_model = mining::HashPowerModel::Exponential;
@@ -25,15 +26,17 @@ int main(int argc, char** argv) {
   std::vector<bench::NamedCurve> curves90;
   for (const auto& [algorithm, name] : algorithms) {
     config.algorithm = algorithm;
-    auto result = core::run_multi_seed(config, seeds);
+    auto result = core::run_multi_seed(config, seeds, jobs);
     curves90.push_back({name, std::move(result.curve)});
     std::cerr << "done: " << name << "\n";
   }
-  curves90.push_back({"ideal", bench::ideal_curve(config, seeds)});
+  curves90.push_back({"ideal", bench::ideal_curve(config, seeds, jobs)});
 
   bench::print_curves(
       std::cout, "Figure 3(b) - exponential hash power, 90% coverage (ms)",
       curves90);
   bench::print_improvements(std::cout, curves90);
+  if (!bench::write_json_if_requested(
+      flags, "Figure 3(b) - exponential hash power", curves90)) return 1;
   return 0;
 }

@@ -11,20 +11,22 @@ int main(int argc, char** argv) {
   bench::add_common_flags(flags, 600, 40, 1);
   if (!flags.parse(argc, argv)) return 1;
   const int seeds = static_cast<int>(flags.get_int("seeds"));
+  const int jobs = bench::jobs_from_flags(flags);
 
   util::print_banner(std::cout,
                      "Figure 4(a) - validation-delay sweep (median lambda, ms)");
   util::Table table({"scale", "random", "perigee-subset", "ideal",
                      "subset gain"});
+  std::vector<bench::NamedCurve> curves;
   for (double scale : {0.1, 0.5, 1.0, 5.0, 10.0}) {
     core::ExperimentConfig config = bench::config_from_flags(flags);
     config.net.validation_scale = scale;
 
     config.algorithm = core::Algorithm::Random;
-    const auto random = core::run_multi_seed(config, seeds);
+    const auto random = core::run_multi_seed(config, seeds, jobs);
     config.algorithm = core::Algorithm::PerigeeSubset;
-    const auto subset = core::run_multi_seed(config, seeds);
-    const auto ideal = bench::ideal_curve(config, seeds);
+    const auto subset = core::run_multi_seed(config, seeds, jobs);
+    const auto ideal = bench::ideal_curve(config, seeds, jobs);
 
     const std::size_t mid = random.curve.mean.size() / 2;
     const double gain =
@@ -34,9 +36,19 @@ int main(int argc, char** argv) {
                    util::fmt(subset.curve.mean[mid]),
                    util::fmt(ideal.mean[mid]),
                    util::fmt(100.0 * gain, 1) + "%"});
+    std::string prefix = "x";
+    prefix += util::fmt(scale, 1);
+    prefix += ' ';
+    curves.push_back({prefix + "random", random.curve});
+    curves.push_back({prefix + "perigee-subset", subset.curve});
+    curves.push_back({prefix + "ideal", ideal});
     std::cerr << "done: scale " << scale << "\n";
   }
   table.print(std::cout);
+  if (!bench::write_json_if_requested(
+          flags, "Figure 4(a) - validation-delay sweep", curves)) {
+    return 1;
+  }
   std::cout << "\nExpected shape (paper §5.3): the gain column shrinks as the\n"
                "validation scale grows - with large node delays the 90th\n"
                "percentile delay is dictated by hop count, which the random\n"

@@ -13,6 +13,7 @@ int main(int argc, char** argv) {
   flags.add_double("relay_link_ms", 5.0, "per-hop latency inside the overlay");
   if (!flags.parse(argc, argv)) return 1;
   const int seeds = static_cast<int>(flags.get_int("seeds"));
+  const int jobs = bench::jobs_from_flags(flags);
 
   core::ExperimentConfig config = bench::config_from_flags(flags);
   config.relay = true;
@@ -28,10 +29,10 @@ int main(int argc, char** argv) {
   std::vector<bench::NamedCurve> curves;
   for (const auto& [algorithm, name] : algorithms) {
     config.algorithm = algorithm;
-    curves.push_back({name, core::run_multi_seed(config, seeds).curve});
+    curves.push_back({name, core::run_multi_seed(config, seeds, jobs).curve});
     std::cerr << "done: " << name << "\n";
   }
-  curves.push_back({"ideal", bench::ideal_curve(config, seeds)});
+  curves.push_back({"ideal", bench::ideal_curve(config, seeds, jobs)});
 
   bench::print_curves(
       std::cout,
@@ -47,5 +48,7 @@ int main(int argc, char** argv) {
   std::cout << "\nfraction of the random->ideal gap closed by perigee-subset "
                "at the median node: "
             << util::fmt(100.0 * closed, 1) << "%\n";
+  if (!bench::write_json_if_requested(flags, "Figure 4(c) - fast relay network",
+                                 curves)) return 1;
   return 0;
 }

@@ -1,9 +1,11 @@
 #include "core/experiment.hpp"
 
 #include <algorithm>
+#include <functional>
 
 #include "metrics/edge_hist.hpp"
 #include "metrics/eval.hpp"
+#include "runner/thread_pool.hpp"
 #include "sim/rounds.hpp"
 #include "topo/builders.hpp"
 #include "topo/coordinates.hpp"
@@ -163,19 +165,61 @@ std::vector<double> run_ideal(const ExperimentConfig& config) {
                              &scenario.topology);
 }
 
-MultiSeedResult run_multi_seed(ExperimentConfig config, int num_seeds) {
-  PERIGEE_ASSERT(num_seeds >= 1);
-  std::vector<std::vector<double>> runs;
-  std::vector<std::vector<double>> runs50;
-  const std::uint64_t base_seed = config.seed;
-  for (int s = 0; s < num_seeds; ++s) {
-    config.seed = base_seed + static_cast<std::uint64_t>(s);
-    ExperimentResult r = run_experiment(config);
-    runs.push_back(std::move(r.lambda));
-    runs50.push_back(std::move(r.lambda50));
+IdealResult run_ideal_both(const ExperimentConfig& config) {
+  const Scenario scenario = build_scenario(config);
+  auto multi = metrics::eval_ideal_multi(
+      scenario.network, {config.coverage, 0.50}, &scenario.topology);
+  return IdealResult{std::move(multi[0]), std::move(multi[1])};
+}
+
+namespace {
+
+// Runs fn(seed_index) for every seed, sequentially when at most one worker
+// is useful, else on a pool. fn writes into a pre-assigned slot, which keeps
+// the aggregate a pure function of the config at any worker count.
+void for_each_seed(int num_seeds, int jobs,
+                   const std::function<void(std::size_t)>& fn) {
+  const auto n = static_cast<std::size_t>(num_seeds);
+  const unsigned workers =
+      std::min<unsigned>(runner::resolve_jobs(jobs), static_cast<unsigned>(n));
+  if (workers <= 1) {
+    for (std::size_t s = 0; s < n; ++s) fn(s);
+    return;
   }
+  runner::ThreadPool pool(workers);
+  runner::parallel_for(pool, n, fn);
+}
+
+}  // namespace
+
+MultiSeedResult run_multi_seed(ExperimentConfig config, int num_seeds,
+                               int jobs) {
+  PERIGEE_ASSERT(num_seeds >= 1);
+  std::vector<std::vector<double>> runs(static_cast<std::size_t>(num_seeds));
+  std::vector<std::vector<double>> runs50(static_cast<std::size_t>(num_seeds));
+  const std::uint64_t base_seed = config.seed;
+  for_each_seed(num_seeds, jobs, [&](std::size_t s) {
+    ExperimentConfig seeded = config;
+    seeded.seed = base_seed + static_cast<std::uint64_t>(s);
+    ExperimentResult r = run_experiment(seeded);
+    runs[s] = std::move(r.lambda);
+    runs50[s] = std::move(r.lambda50);
+  });
   return MultiSeedResult{metrics::aggregate_sorted_curves(std::move(runs)),
                          metrics::aggregate_sorted_curves(std::move(runs50))};
+}
+
+metrics::Curve run_ideal_multi_seed(ExperimentConfig config, int num_seeds,
+                                    int jobs) {
+  PERIGEE_ASSERT(num_seeds >= 1);
+  std::vector<std::vector<double>> runs(static_cast<std::size_t>(num_seeds));
+  const std::uint64_t base_seed = config.seed;
+  for_each_seed(num_seeds, jobs, [&](std::size_t s) {
+    ExperimentConfig seeded = config;
+    seeded.seed = base_seed + static_cast<std::uint64_t>(s);
+    runs[s] = run_ideal(seeded);
+  });
+  return metrics::aggregate_sorted_curves(std::move(runs));
 }
 
 IncrementalResult run_incremental(const ExperimentConfig& config,
@@ -215,6 +259,28 @@ IncrementalResult run_incremental(const ExperimentConfig& config,
         .push_back(lambda[v]);
   }
   return result;
+}
+
+IncrementalCurves run_incremental_multi_seed(ExperimentConfig config,
+                                             double adopter_fraction,
+                                             int num_seeds, int jobs) {
+  PERIGEE_ASSERT(num_seeds >= 1);
+  // Adopter count k = fraction * n is seed-independent, so the per-group
+  // vectors have equal length across seeds and aggregate cleanly.
+  std::vector<std::vector<double>> adopters(
+      static_cast<std::size_t>(num_seeds));
+  std::vector<std::vector<double>> others(static_cast<std::size_t>(num_seeds));
+  const std::uint64_t base_seed = config.seed;
+  for_each_seed(num_seeds, jobs, [&](std::size_t s) {
+    ExperimentConfig seeded = config;
+    seeded.seed = base_seed + static_cast<std::uint64_t>(s);
+    IncrementalResult r = run_incremental(seeded, adopter_fraction);
+    adopters[s] = std::move(r.lambda_adopters);
+    others[s] = std::move(r.lambda_others);
+  });
+  return IncrementalCurves{
+      metrics::aggregate_sorted_curves(std::move(adopters)),
+      metrics::aggregate_sorted_curves(std::move(others))};
 }
 
 }  // namespace perigee::core

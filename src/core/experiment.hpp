@@ -102,13 +102,30 @@ ExperimentResult run_experiment(const ExperimentConfig& config);
 // λv on the fully-connected topology of the same scenario.
 std::vector<double> run_ideal(const ExperimentConfig& config);
 
+// run_ideal at config.coverage and 50% from one scenario + one Dijkstra
+// pass per source (the sweep runner wants both coverages per cell).
+struct IdealResult {
+  std::vector<double> lambda;    // at config.coverage
+  std::vector<double> lambda50;  // at 50% coverage
+};
+IdealResult run_ideal_both(const ExperimentConfig& config);
+
 // Repeats `run_experiment` with seeds seed, seed+1, ... and aggregates the
 // sorted per-node curves (paper: 3 independently sampled link latencies).
+// `jobs` > 1 fans the seeds out across a runner::ThreadPool; each seed is an
+// independent pure function of its config, and results land in per-seed
+// slots aggregated in seed order, so any jobs value gives bit-identical
+// curves (jobs <= 0 = all hardware threads).
 struct MultiSeedResult {
   metrics::Curve curve;    // at config.coverage
   metrics::Curve curve50;  // at 50% coverage
 };
-MultiSeedResult run_multi_seed(ExperimentConfig config, int num_seeds);
+MultiSeedResult run_multi_seed(ExperimentConfig config, int num_seeds,
+                               int jobs = 1);
+
+// Per-seed ideal bounds (run_ideal) aggregated the same way.
+metrics::Curve run_ideal_multi_seed(ExperimentConfig config, int num_seeds,
+                                    int jobs = 1);
 
 // Incremental-deployment ablation (§1.2): `adopter_fraction` of nodes run
 // Perigee-Subset while the rest keep their random neighbors. λ is reported
@@ -119,5 +136,15 @@ struct IncrementalResult {
 };
 IncrementalResult run_incremental(const ExperimentConfig& config,
                                   double adopter_fraction);
+
+// Multi-seed aggregation of run_incremental with the same parallel/
+// deterministic contract as run_multi_seed.
+struct IncrementalCurves {
+  metrics::Curve adopters;  // sorted-λ curve over adopter nodes
+  metrics::Curve others;    // sorted-λ curve over holdout nodes
+};
+IncrementalCurves run_incremental_multi_seed(ExperimentConfig config,
+                                             double adopter_fraction,
+                                             int num_seeds, int jobs = 1);
 
 }  // namespace perigee::core

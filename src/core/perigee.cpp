@@ -31,6 +31,24 @@ std::string_view algorithm_name(Algorithm algorithm) {
   return "unknown";
 }
 
+const std::vector<Algorithm>& all_algorithms() {
+  static const std::vector<Algorithm> all = {
+      Algorithm::Random,          Algorithm::Geographic,
+      Algorithm::Kademlia,        Algorithm::KNearestOracle,
+      Algorithm::CoordinateGreedy, Algorithm::PerigeeVanilla,
+      Algorithm::PerigeeUcb,      Algorithm::PerigeeSubset,
+      Algorithm::Ideal,
+  };
+  return all;
+}
+
+std::optional<Algorithm> algorithm_from_name(std::string_view name) {
+  for (const Algorithm a : all_algorithms()) {
+    if (algorithm_name(a) == name) return a;
+  }
+  return std::nullopt;
+}
+
 bool is_adaptive(Algorithm algorithm) {
   switch (algorithm) {
     case Algorithm::PerigeeVanilla:

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string_view>
 #include <vector>
 
@@ -26,6 +27,12 @@ enum class Algorithm {
 };
 
 std::string_view algorithm_name(Algorithm algorithm);
+
+// Inverse of algorithm_name (exact match); nullopt for unknown names.
+std::optional<Algorithm> algorithm_from_name(std::string_view name);
+
+// Every Algorithm value, in declaration order (for CLIs and sweeps).
+const std::vector<Algorithm>& all_algorithms();
 
 // True for the Perigee variants that rewire each round.
 bool is_adaptive(Algorithm algorithm);

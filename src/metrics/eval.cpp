@@ -55,6 +55,13 @@ std::vector<double> eval_all_sources(const net::Topology& topology,
 
 std::vector<double> eval_ideal(const net::Network& network, double coverage,
                                const net::Topology* infra) {
+  return std::move(eval_ideal_multi(network, {coverage}, infra).front());
+}
+
+std::vector<std::vector<double>> eval_ideal_multi(
+    const net::Network& network, const std::vector<double>& coverages,
+    const net::Topology* infra) {
+  PERIGEE_ASSERT(!coverages.empty());
   // Broadcast on the fully-connected topology. Direct delivery is not
   // always fastest — per-pair jitter can make a two-hop path through a fast
   // intermediary beat a slow direct link — so this is a dense Dijkstra per
@@ -78,7 +85,8 @@ std::vector<double> eval_ideal(const net::Network& network, double coverage,
     }
   }
 
-  std::vector<double> lambda(n);
+  std::vector<std::vector<double>> lambda(coverages.size(),
+                                          std::vector<double>(n));
   std::vector<double> arrival(n), ready(n);
   std::vector<bool> settled(n);
   std::vector<std::pair<double, double>> by_arrival;
@@ -122,7 +130,11 @@ std::vector<double> eval_ideal(const net::Network& network, double coverage,
       total += power;
       by_arrival.emplace_back(arrival[u], power);
     }
-    lambda[src] = coverage_time(by_arrival, total, coverage);
+    // coverage_time sorts in place; subsequent calls re-sort a sorted
+    // vector, so the Dijkstra pass above stays the only expensive step.
+    for (std::size_t k = 0; k < coverages.size(); ++k) {
+      lambda[k][src] = coverage_time(by_arrival, total, coverages[k]);
+    }
   }
   return lambda;
 }

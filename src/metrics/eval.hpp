@@ -32,4 +32,11 @@ std::vector<double> eval_ideal(const net::Network& network,
                                double coverage = 0.90,
                                const net::Topology* infra = nullptr);
 
+// Same bound evaluated at several coverages from a single Dijkstra pass per
+// source (the pass dominates; extra coverages are nearly free). Returns one
+// λ vector per coverage, in input order.
+std::vector<std::vector<double>> eval_ideal_multi(
+    const net::Network& network, const std::vector<double>& coverages,
+    const net::Topology* infra = nullptr);
+
 }  // namespace perigee::metrics

@@ -4,6 +4,26 @@
 
 namespace perigee::mining {
 
+std::string_view hash_model_name(HashPowerModel model) {
+  switch (model) {
+    case HashPowerModel::Uniform:
+      return "uniform";
+    case HashPowerModel::Exponential:
+      return "exponential";
+    case HashPowerModel::Pools:
+      return "pools";
+  }
+  return "unknown";
+}
+
+std::optional<HashPowerModel> hash_model_from_name(std::string_view name) {
+  for (const auto model : {HashPowerModel::Uniform, HashPowerModel::Exponential,
+                           HashPowerModel::Pools}) {
+    if (hash_model_name(model) == name) return model;
+  }
+  return std::nullopt;
+}
+
 std::vector<net::NodeId> assign_hash_power(net::Network& network,
                                            HashPowerModel model,
                                            util::Rng& rng,

@@ -1,6 +1,8 @@
 // Hash-power assignment models (paper §5.1, §5.2, §5.4).
 #pragma once
 
+#include <optional>
+#include <string_view>
 #include <vector>
 
 #include "net/network.hpp"
@@ -22,6 +24,10 @@ struct PoolsConfig {
   double pool_fraction = 0.10;
   double pool_share = 0.90;
 };
+
+// "uniform" / "exponential" / "pools" (sweep labels and CLI flags).
+std::string_view hash_model_name(HashPowerModel model);
+std::optional<HashPowerModel> hash_model_from_name(std::string_view name);
 
 // Overwrites profile.hash_power for every node. Returns the ids of pool
 // members (empty unless model == Pools). Deterministic in `rng`.

@@ -1,0 +1,86 @@
+// Dependency-free JSON emit/parse for sweep results (BENCH_<name>.json).
+//
+// The writer is a streaming state machine (objects/arrays/fields) whose
+// number formatting goes through std::to_chars, so output is byte-identical
+// across runs and thread counts — the property the determinism acceptance
+// check diffs on. The parser is the minimal recursive-descent inverse used
+// by tests and by tools that read checked-in BENCH files; it is not a
+// general-purpose validator (no \uXXXX escapes beyond ASCII, no duplicate-
+// key detection).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace perigee::runner {
+
+class JsonWriter {
+ public:
+  // indent = 0 emits compact single-line JSON; > 0 pretty-prints.
+  explicit JsonWriter(std::ostream& os, int indent = 2);
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  // Inside an object: emits the key; the next value/begin_* call is its
+  // value.
+  void key(std::string_view k);
+
+  void value(double v);  // non-finite values emit null
+  void value(std::int64_t v);
+  void value(std::string_view v);
+  void value(bool v);
+  // String literals would otherwise decay to the bool overload.
+  void value(const char* v) { value(std::string_view(v)); }
+  void null();
+
+  // key + value in one call.
+  void field(std::string_view k, double v);
+  void field(std::string_view k, std::int64_t v);
+  void field(std::string_view k, std::string_view v);
+  void field(std::string_view k, bool v);
+  void field(std::string_view k, const char* v) {
+    field(k, std::string_view(v));
+  }
+  void field(std::string_view k, const std::vector<double>& v);
+
+ private:
+  enum class Scope { Object, Array };
+  void before_value();
+  void newline_indent();
+  void write_string(std::string_view v);
+
+  std::ostream& os_;
+  int indent_;
+  std::vector<Scope> stack_;
+  std::vector<bool> has_items_;
+  bool after_key_ = false;
+};
+
+// Formats a double exactly as JsonWriter does (shortest round-trip form).
+std::string format_double(double v);
+
+// Parsed JSON document. Object member order is preserved.
+struct JsonValue {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<JsonValue> items;                            // Array
+  std::vector<std::pair<std::string, JsonValue>> members;  // Object
+
+  // Throws std::runtime_error (with offset) on malformed input.
+  static JsonValue parse(std::string_view text);
+
+  // Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const;
+};
+
+}  // namespace perigee::runner

@@ -1,0 +1,203 @@
+#include "runner/sweep.hpp"
+
+#include <atomic>
+#include <fstream>
+#include <string>
+#include <utility>
+
+#include "runner/json.hpp"
+#include "runner/thread_pool.hpp"
+#include "util/assert.hpp"
+
+namespace perigee::runner {
+namespace {
+
+template <typename T>
+std::vector<T> axis_or(const std::vector<T>& axis, const T& base) {
+  if (!axis.empty()) return axis;
+  return {base};
+}
+
+void append_label(std::string& label, std::string_view part) {
+  if (!label.empty()) label += ' ';
+  label += part;
+}
+
+}  // namespace
+
+std::vector<SweepCell> expand_grid(const SweepSpec& spec) {
+  const auto algorithms = axis_or(spec.algorithms, spec.base.algorithm);
+  const auto nodes = axis_or(spec.nodes, spec.base.net.n);
+  const auto rounds = axis_or(spec.rounds, spec.base.rounds);
+  const auto hash_models = axis_or(spec.hash_models, spec.base.hash_model);
+  const auto validation_scales =
+      axis_or(spec.validation_scales, spec.base.net.validation_scale);
+  const auto relay = axis_or(spec.relay, spec.base.relay);
+
+  std::vector<SweepCell> cells;
+  cells.reserve(algorithms.size() * nodes.size() * rounds.size() *
+                hash_models.size() * validation_scales.size() * relay.size());
+  for (const auto algorithm : algorithms) {
+    for (const auto n : nodes) {
+      for (const auto r : rounds) {
+        for (const auto hash : hash_models) {
+          for (const auto vscale : validation_scales) {
+            for (const bool rl : relay) {
+              SweepCell cell;
+              cell.index = cells.size();
+              cell.config = spec.base;
+              cell.config.algorithm = algorithm;
+              cell.config.net.n = n;
+              cell.config.rounds = r;
+              cell.config.hash_model = hash;
+              cell.config.net.validation_scale = vscale;
+              cell.config.relay = rl;
+              // Label only the axes that are actually swept.
+              if (!spec.algorithms.empty()) {
+                append_label(cell.label, std::string("algorithm=") +
+                                             std::string(core::algorithm_name(
+                                                 algorithm)));
+              }
+              if (!spec.nodes.empty()) {
+                append_label(cell.label, "n=" + std::to_string(n));
+              }
+              if (!spec.rounds.empty()) {
+                append_label(cell.label, "rounds=" + std::to_string(r));
+              }
+              if (!spec.hash_models.empty()) {
+                append_label(cell.label,
+                             std::string("hash=") +
+                                 std::string(mining::hash_model_name(hash)));
+              }
+              if (!spec.validation_scales.empty()) {
+                append_label(cell.label,
+                             "vscale=" + format_double(vscale));
+              }
+              if (!spec.relay.empty()) {
+                append_label(cell.label,
+                             std::string("relay=") + (rl ? "on" : "off"));
+              }
+              if (cell.label.empty()) cell.label = "base";
+              cells.push_back(std::move(cell));
+            }
+          }
+        }
+      }
+    }
+  }
+  return cells;
+}
+
+SweepRunner::SweepRunner(int jobs) : workers_(resolve_jobs(jobs)) {}
+
+SweepResult SweepRunner::run(const SweepSpec& spec,
+                             const Progress& progress) const {
+  PERIGEE_ASSERT(spec.seeds >= 1);
+  std::vector<SweepCell> cells = expand_grid(spec);
+  const auto seeds = static_cast<std::size_t>(spec.seeds);
+  const std::size_t total = cells.size() * seeds;
+
+  // One pre-assigned slot per (cell, seed): jobs never contend on shared
+  // state, and aggregation order below is fixed — this is what makes the
+  // result independent of worker count and scheduling.
+  std::vector<std::vector<std::vector<double>>> lambda(cells.size());
+  std::vector<std::vector<std::vector<double>>> lambda50(cells.size());
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    lambda[c].resize(seeds);
+    lambda50[c].resize(seeds);
+  }
+
+  std::atomic<std::size_t> done{0};
+  ThreadPool pool(workers_);
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    for (std::size_t s = 0; s < seeds; ++s) {
+      pool.submit([&, c, s] {
+        core::ExperimentConfig config = cells[c].config;
+        config.seed += static_cast<std::uint64_t>(s);
+        if (config.algorithm == core::Algorithm::Ideal) {
+          core::IdealResult r = core::run_ideal_both(config);
+          lambda[c][s] = std::move(r.lambda);
+          lambda50[c][s] = std::move(r.lambda50);
+        } else {
+          core::ExperimentResult r = core::run_experiment(config);
+          lambda[c][s] = std::move(r.lambda);
+          lambda50[c][s] = std::move(r.lambda50);
+        }
+        if (progress) {
+          progress(done.fetch_add(1, std::memory_order_relaxed) + 1, total);
+        }
+      });
+    }
+  }
+  pool.wait();
+
+  SweepResult result;
+  result.cells.reserve(cells.size());
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    CellResult cr;
+    cr.cell = std::move(cells[c]);
+    cr.curve = metrics::aggregate_sorted_curves(std::move(lambda[c]));
+    cr.curve50 = metrics::aggregate_sorted_curves(std::move(lambda50[c]));
+    result.cells.push_back(std::move(cr));
+  }
+  return result;
+}
+
+namespace {
+
+void write_curve(JsonWriter& w, const metrics::Curve& curve) {
+  w.begin_object();
+  w.field("mean", curve.mean);
+  w.field("stddev", curve.stddev);
+  w.end_object();
+}
+
+}  // namespace
+
+void write_json(std::ostream& os, const SweepSpec& spec,
+                const SweepResult& result) {
+  JsonWriter w(os);
+  w.begin_object();
+  w.field("name", spec.name);
+  w.key("spec");
+  w.begin_object();
+  w.field("seeds", static_cast<std::int64_t>(spec.seeds));
+  w.field("base_seed", static_cast<std::int64_t>(spec.base.seed));
+  w.field("coverage", spec.base.coverage);
+  w.end_object();
+  w.key("cells");
+  w.begin_array();
+  for (const CellResult& cr : result.cells) {
+    const core::ExperimentConfig& config = cr.cell.config;
+    w.begin_object();
+    w.field("label", cr.cell.label);
+    w.field("algorithm", core::algorithm_name(config.algorithm));
+    w.field("nodes", static_cast<std::int64_t>(config.net.n));
+    w.field("rounds", static_cast<std::int64_t>(config.rounds));
+    w.field("hash_model", mining::hash_model_name(config.hash_model));
+    w.field("validation_scale", config.net.validation_scale);
+    w.field("relay", config.relay);
+    w.key("curve");
+    write_curve(w, cr.curve);
+    w.key("curve50");
+    write_curve(w, cr.curve50);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  os << '\n';
+}
+
+bool write_json_file(const std::string& path, const SweepSpec& spec,
+                     const SweepResult& result) {
+  std::ofstream os(path);
+  if (!os) return false;
+  write_json(os, spec, result);
+  return os.good();
+}
+
+std::string default_json_path(const SweepSpec& spec) {
+  return "BENCH_" + spec.name + ".json";
+}
+
+}  // namespace perigee::runner

@@ -1,0 +1,94 @@
+// Declarative experiment grids over ExperimentConfig, executed in parallel.
+//
+// A SweepSpec names the axes to sweep (algorithm, n, rounds, hash model,
+// validation scale, relay, seeds); expand_grid() turns it into the cartesian
+// list of cells in a fixed nesting order, and SweepRunner executes every
+// (cell, seed) pair as an independent job on a work-stealing ThreadPool.
+// Each job derives its seed as base seed + seed index and writes into a
+// pre-assigned slot, so the aggregated per-cell Curves are bit-identical at
+// any --jobs value — including --jobs 1, which is the sequential reference.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "metrics/curves.hpp"
+
+namespace perigee::runner {
+
+struct SweepSpec {
+  // Used for the default output path BENCH_<name>.json.
+  std::string name = "sweep";
+
+  // Values for every field that is not swept below, including the base seed
+  // (seed s of a cell runs with base.seed + s) and the λ coverage.
+  core::ExperimentConfig base;
+
+  // Swept axes, outermost first in the expansion order. An empty axis means
+  // "not swept": the cell inherits the base value and the axis is left out
+  // of cell labels.
+  std::vector<core::Algorithm> algorithms;
+  std::vector<std::size_t> nodes;
+  std::vector<int> rounds;
+  std::vector<mining::HashPowerModel> hash_models;
+  std::vector<double> validation_scales;
+  std::vector<bool> relay;
+
+  // Independent repetitions per cell (aggregated into mean/stddev curves).
+  int seeds = 1;
+};
+
+struct SweepCell {
+  std::size_t index = 0;  // position in expansion order
+  std::string label;      // swept axes only, e.g. "algorithm=random n=600"
+  core::ExperimentConfig config;  // seed = spec.base.seed (jobs add s)
+};
+
+// Cartesian expansion in the axis order declared above. Algorithm::Ideal is
+// a valid axis value: its cells are evaluated analytically via run_ideal.
+std::vector<SweepCell> expand_grid(const SweepSpec& spec);
+
+struct CellResult {
+  SweepCell cell;
+  metrics::Curve curve;    // sorted-λ at spec.base.coverage
+  metrics::Curve curve50;  // sorted-λ at 50% coverage
+};
+
+struct SweepResult {
+  std::vector<CellResult> cells;  // expansion order, independent of --jobs
+};
+
+class SweepRunner {
+ public:
+  // jobs semantics match resolve_jobs: > 0 exact, <= 0 all hardware threads.
+  explicit SweepRunner(int jobs = 0);
+
+  unsigned workers() const { return workers_; }
+
+  // Runs the full grid. `progress` (optional) is invoked after every
+  // completed job as progress(done, total); it may be called concurrently
+  // from worker threads.
+  using Progress = std::function<void(std::size_t done, std::size_t total)>;
+  SweepResult run(const SweepSpec& spec, const Progress& progress = {}) const;
+
+ private:
+  unsigned workers_;
+};
+
+// Serializes a sweep result (spec echo + per-cell curves) as deterministic
+// JSON: no timestamps, no timings, to_chars number formatting — files from
+// different --jobs runs diff clean.
+void write_json(std::ostream& os, const SweepSpec& spec,
+                const SweepResult& result);
+
+// write_json to `path` (BENCH_<name>.json convention). Returns false when
+// the file cannot be opened.
+bool write_json_file(const std::string& path, const SweepSpec& spec,
+                     const SweepResult& result);
+
+std::string default_json_path(const SweepSpec& spec);
+
+}  // namespace perigee::runner

@@ -1,0 +1,127 @@
+#include "runner/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace perigee::runner {
+namespace {
+
+TEST(ResolveJobs, PositivePassesThrough) {
+  EXPECT_EQ(resolve_jobs(1), 1u);
+  EXPECT_EQ(resolve_jobs(7), 7u);
+}
+
+TEST(ResolveJobs, ZeroMeansHardwareButNeverZero) {
+  EXPECT_GE(resolve_jobs(0), 1u);
+  EXPECT_GE(resolve_jobs(-3), 1u);
+}
+
+TEST(ThreadPool, ExecutesEverySubmittedJob) {
+  ThreadPool pool(4);
+  constexpr int kJobs = 200;
+  std::atomic<int> count{0};
+  for (int i = 0; i < kJobs; ++i) {
+    pool.submit([&count] { count.fetch_add(1); });
+  }
+  pool.wait();
+  EXPECT_EQ(count.load(), kJobs);
+}
+
+TEST(ThreadPool, SingleWorkerDrains) {
+  ThreadPool pool(1);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.submit([&count] { count.fetch_add(1); });
+  }
+  pool.wait();
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, ReusableAfterWait) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.submit([&count] { count.fetch_add(1); });
+  pool.wait();
+  pool.submit([&count] { count.fetch_add(1); });
+  pool.submit([&count] { count.fetch_add(1); });
+  pool.wait();
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ThreadPool, WaitWithNothingSubmittedReturns) {
+  ThreadPool pool(2);
+  pool.wait();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, StealsAcrossWorkers) {
+  // One long job pins a worker; the rest of the burst must still finish
+  // because siblings steal the queued work.
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  pool.submit([] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  });
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&count] { count.fetch_add(1); });
+  }
+  pool.wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, PropagatesFirstException) {
+  ThreadPool pool(3);
+  std::atomic<int> completed{0};
+  for (int i = 0; i < 10; ++i) {
+    pool.submit([&completed, i] {
+      if (i == 4) throw std::runtime_error("job 4 failed");
+      completed.fetch_add(1);
+    });
+  }
+  EXPECT_THROW(pool.wait(), std::runtime_error);
+  // The failure does not cancel other jobs.
+  EXPECT_EQ(completed.load(), 9);
+  // The error is consumed: the pool stays usable.
+  pool.submit([&completed] { completed.fetch_add(1); });
+  pool.wait();
+  EXPECT_EQ(completed.load(), 10);
+}
+
+TEST(ParallelFor, CoversEachIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 500;
+  std::vector<std::atomic<int>> hits(kN);
+  parallel_for(pool, kN, [&hits](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelFor, ZeroIterationsIsANoOp) {
+  ThreadPool pool(2);
+  parallel_for(pool, 0, [](std::size_t) { FAIL() << "must not be called"; });
+  SUCCEED();
+}
+
+TEST(ParallelFor, IndexedSlotsAreDeterministic) {
+  // The scheduling is arbitrary but slot writes are not: any worker count
+  // produces the same output vector.
+  const auto run = [](unsigned workers) {
+    ThreadPool pool(workers);
+    std::vector<double> out(256);
+    parallel_for(pool, out.size(), [&out](std::size_t i) {
+      out[i] = static_cast<double>(i * i) * 0.25;
+    });
+    return out;
+  };
+  EXPECT_EQ(run(1), run(8));
+}
+
+}  // namespace
+}  // namespace perigee::runner

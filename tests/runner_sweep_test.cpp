@@ -1,0 +1,190 @@
+#include "runner/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "runner/json.hpp"
+
+namespace perigee::runner {
+namespace {
+
+// Small-but-real config: large enough for every algorithm to run, small
+// enough that a grid finishes in well under a second per cell.
+SweepSpec small_spec() {
+  SweepSpec spec;
+  spec.name = "test";
+  spec.base.net.n = 60;
+  spec.base.rounds = 2;
+  spec.base.seed = 7;
+  spec.seeds = 3;
+  spec.algorithms = {core::Algorithm::Random, core::Algorithm::PerigeeSubset,
+                     core::Algorithm::Ideal};
+  return spec;
+}
+
+TEST(ExpandGrid, CartesianCountAndOrder) {
+  SweepSpec spec = small_spec();
+  spec.nodes = {40, 60};
+  spec.rounds = {1, 2};
+  const auto cells = expand_grid(spec);
+  // 3 algorithms x 2 nodes x 2 rounds, algorithm outermost.
+  ASSERT_EQ(cells.size(), 12u);
+  EXPECT_EQ(cells[0].config.algorithm, core::Algorithm::Random);
+  EXPECT_EQ(cells[0].config.net.n, 40u);
+  EXPECT_EQ(cells[0].config.rounds, 1);
+  EXPECT_EQ(cells[1].config.rounds, 2);
+  EXPECT_EQ(cells[2].config.net.n, 60u);
+  EXPECT_EQ(cells[4].config.algorithm, core::Algorithm::PerigeeSubset);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_EQ(cells[i].index, i);
+  }
+}
+
+TEST(ExpandGrid, LabelsNameOnlySweptAxes) {
+  SweepSpec spec = small_spec();
+  spec.nodes = {40, 60};
+  const auto cells = expand_grid(spec);
+  EXPECT_EQ(cells[0].label, "algorithm=random n=40");
+  EXPECT_EQ(cells[3].label, "algorithm=perigee-subset n=60");
+}
+
+TEST(ExpandGrid, UnsweptSpecYieldsOneBaseCell) {
+  SweepSpec spec;
+  spec.base.net.n = 50;
+  const auto cells = expand_grid(spec);
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0].label, "base");
+  EXPECT_EQ(cells[0].config.net.n, 50u);
+}
+
+TEST(SweepRunner, JobCountDoesNotChangeResults) {
+  const SweepSpec spec = small_spec();
+  const SweepResult sequential = SweepRunner(1).run(spec);
+  const SweepResult parallel = SweepRunner(8).run(spec);
+
+  ASSERT_EQ(sequential.cells.size(), parallel.cells.size());
+  for (std::size_t c = 0; c < sequential.cells.size(); ++c) {
+    EXPECT_EQ(sequential.cells[c].cell.label, parallel.cells[c].cell.label);
+    // Bit-for-bit: the parallel path must be the sequential path, reordered.
+    EXPECT_EQ(sequential.cells[c].curve.mean, parallel.cells[c].curve.mean);
+    EXPECT_EQ(sequential.cells[c].curve.stddev,
+              parallel.cells[c].curve.stddev);
+    EXPECT_EQ(sequential.cells[c].curve50.mean,
+              parallel.cells[c].curve50.mean);
+  }
+
+  // And so must the serialized artifacts, byte for byte.
+  std::ostringstream a, b;
+  write_json(a, spec, sequential);
+  write_json(b, spec, parallel);
+  EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(SweepRunner, MultiSeedMatchesCoreApi) {
+  SweepSpec spec = small_spec();
+  spec.algorithms = {core::Algorithm::PerigeeSubset};
+  const SweepResult result = SweepRunner(4).run(spec);
+  ASSERT_EQ(result.cells.size(), 1u);
+
+  core::ExperimentConfig config = spec.base;
+  config.algorithm = core::Algorithm::PerigeeSubset;
+  const auto reference = core::run_multi_seed(config, spec.seeds, 1);
+  EXPECT_EQ(result.cells[0].curve.mean, reference.curve.mean);
+  EXPECT_EQ(result.cells[0].curve50.mean, reference.curve50.mean);
+}
+
+TEST(SweepRunner, ProgressReachesTotal) {
+  SweepSpec spec = small_spec();
+  spec.algorithms = {core::Algorithm::Random};
+  std::atomic<std::size_t> last{0};
+  std::atomic<std::size_t> calls{0};
+  SweepRunner(2).run(spec, [&](std::size_t done, std::size_t total) {
+    calls.fetch_add(1);
+    if (done == total) last.store(done);
+  });
+  EXPECT_EQ(calls.load(), 3u);  // 1 cell x 3 seeds
+  EXPECT_EQ(last.load(), 3u);
+}
+
+TEST(SweepJson, RoundTripsThroughParser) {
+  const SweepSpec spec = small_spec();
+  const SweepResult result = SweepRunner(2).run(spec);
+  std::ostringstream os;
+  write_json(os, spec, result);
+
+  const JsonValue doc = JsonValue::parse(os.str());
+  ASSERT_EQ(doc.kind, JsonValue::Kind::Object);
+  EXPECT_EQ(doc.find("name")->string, "test");
+  EXPECT_DOUBLE_EQ(doc.find("spec")->find("seeds")->number, 3.0);
+  EXPECT_DOUBLE_EQ(doc.find("spec")->find("base_seed")->number, 7.0);
+
+  const JsonValue* cells = doc.find("cells");
+  ASSERT_NE(cells, nullptr);
+  ASSERT_EQ(cells->items.size(), result.cells.size());
+  for (std::size_t c = 0; c < result.cells.size(); ++c) {
+    const JsonValue& cell = cells->items[c];
+    EXPECT_EQ(cell.find("label")->string, result.cells[c].cell.label);
+    const JsonValue* mean = cell.find("curve")->find("mean");
+    ASSERT_NE(mean, nullptr);
+    ASSERT_EQ(mean->items.size(), result.cells[c].curve.mean.size());
+    for (std::size_t i = 0; i < mean->items.size(); ++i) {
+      // to_chars shortest form parses back to the exact same double.
+      EXPECT_EQ(mean->items[i].number, result.cells[c].curve.mean[i]);
+    }
+  }
+}
+
+TEST(JsonWriter, EscapesAndNesting) {
+  std::ostringstream os;
+  JsonWriter w(os, 0);
+  w.begin_object();
+  w.field("s", "a\"b\\c\nd");
+  w.field("t", true);
+  w.field("f", false);
+  w.key("arr");
+  w.begin_array();
+  w.value(static_cast<std::int64_t>(-3));
+  w.value(0.5);
+  w.null();
+  w.end_array();
+  w.end_object();
+  EXPECT_EQ(os.str(),
+            R"({"s":"a\"b\\c\nd","t":true,"f":false,"arr":[-3,0.5,null]})");
+
+  const JsonValue doc = JsonValue::parse(os.str());
+  EXPECT_EQ(doc.find("s")->string, "a\"b\\c\nd");
+  EXPECT_TRUE(doc.find("t")->boolean);
+  EXPECT_EQ(doc.find("arr")->items.size(), 3u);
+  EXPECT_EQ(doc.find("arr")->items[2].kind, JsonValue::Kind::Null);
+}
+
+TEST(JsonWriter, NonFiniteBecomesNull) {
+  std::ostringstream os;
+  JsonWriter w(os, 0);
+  w.begin_array();
+  w.value(std::numeric_limits<double>::infinity());
+  w.value(std::numeric_limits<double>::quiet_NaN());
+  w.end_array();
+  EXPECT_EQ(os.str(), "[null,null]");
+}
+
+TEST(JsonParser, RejectsMalformedInput) {
+  EXPECT_THROW(JsonValue::parse("{"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("[1,]2"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("tru"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("{\"a\" 1}"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("1 2"), std::runtime_error);
+}
+
+TEST(JsonParser, ParsesNumbers) {
+  const JsonValue doc = JsonValue::parse("[-1.5e3, 0, 42, 0.125]");
+  ASSERT_EQ(doc.items.size(), 4u);
+  EXPECT_DOUBLE_EQ(doc.items[0].number, -1500.0);
+  EXPECT_DOUBLE_EQ(doc.items[1].number, 0.0);
+  EXPECT_DOUBLE_EQ(doc.items[2].number, 42.0);
+  EXPECT_DOUBLE_EQ(doc.items[3].number, 0.125);
+}
+
+}  // namespace
+}  // namespace perigee::runner
