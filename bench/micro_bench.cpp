@@ -1,11 +1,18 @@
-// Engine micro-benchmarks (google-benchmark): per-block broadcast cost,
-// message-level gossip cost, scoring costs, and the sampling primitives.
-// These bound the wall-clock of the figure benches: one Figure-3 curve is
-// rounds x blocks broadcasts plus n subset-scorings per round.
+// Engine micro-benchmarks (google-benchmark): per-block broadcast cost on
+// both engines (legacy Topology walk vs compiled CSR fast path), CSR compile
+// cost, message-level gossip cost, scoring costs, and the sampling
+// primitives. These bound the wall-clock of the figure benches: one Figure-3
+// curve is rounds x blocks broadcasts plus n subset-scorings per round.
+//
+// BM_Broadcast (legacy) vs BM_BroadcastCsr at Arg(1000) — the fig3a grid
+// size — is the before/after pair recorded in BENCH_broadcast.json; the
+// acceptance bar is >= 1.5x items_per_second.
 #include <benchmark/benchmark.h>
 
 #include "core/perigee.hpp"
+#include "metrics/eval.hpp"
 #include "mining/sampler.hpp"
+#include "net/csr.hpp"
 #include "sim/gossip.hpp"
 #include "sim/rounds.hpp"
 #include "topo/builders.hpp"
@@ -40,13 +47,55 @@ void BM_Broadcast(benchmark::State& state) {
 }
 BENCHMARK(BM_Broadcast)->Arg(200)->Arg(1000)->Arg(4000);
 
-void BM_GossipInv(benchmark::State& state) {
+void BM_BroadcastCsr(benchmark::State& state) {
   Fixture f(static_cast<std::size_t>(state.range(0)));
+  const net::CsrTopology csr =
+      net::CsrTopology::build(f.topology, *f.network);
+  sim::BroadcastScratch scratch;
+  sim::BroadcastResult result;
   net::NodeId miner = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(sim::simulate_gossip(f.topology, *f.network,
-                                                  miner));
-    miner = (miner + 1) % static_cast<net::NodeId>(f.topology.size());
+    sim::simulate_broadcast(csr, miner, scratch, result);
+    benchmark::DoNotOptimize(result.arrival.data());
+    miner = (miner + 1) % static_cast<net::NodeId>(csr.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BroadcastCsr)->Arg(200)->Arg(1000)->Arg(4000);
+
+// Compile cost of the flat-graph snapshot: amortized over the K blocks of a
+// round (fig grids: K = 100), so it must stay well under K broadcasts.
+void BM_CsrBuild(benchmark::State& state) {
+  Fixture f(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        net::CsrTopology::build(f.topology, *f.network));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CsrBuild)->Arg(200)->Arg(1000)->Arg(4000);
+
+// Multi-source λ evaluation: n broadcasts batched over one CSR + scratch.
+void BM_EvalAllSources(benchmark::State& state) {
+  Fixture f(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        metrics::eval_all_sources(f.topology, *f.network, 0.90));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::size_t>(state.range(0)));
+}
+BENCHMARK(BM_EvalAllSources)->Arg(200)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+void BM_GossipInv(benchmark::State& state) {
+  Fixture f(static_cast<std::size_t>(state.range(0)));
+  // Hoist the snapshot: this measures the event loop alone, as it did when
+  // the engine walked the Topology directly (BM_CsrBuild prices the compile).
+  const net::CsrTopology csr = net::CsrTopology::build(f.topology, *f.network);
+  net::NodeId miner = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::simulate_gossip(csr, miner));
+    miner = (miner + 1) % static_cast<net::NodeId>(csr.size());
   }
   state.SetItemsProcessed(state.iterations());
 }

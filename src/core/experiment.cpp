@@ -5,6 +5,7 @@
 
 #include "metrics/edge_hist.hpp"
 #include "metrics/eval.hpp"
+#include "net/csr.hpp"
 #include "runner/thread_pool.hpp"
 #include "sim/rounds.hpp"
 #include "topo/builders.hpp"
@@ -148,10 +149,14 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     }
   }
 
-  result.lambda = metrics::eval_all_sources(scenario.topology,
-                                            scenario.network, config.coverage);
+  // One flat-graph compile serves both coverage evaluations of the final
+  // topology (each is n source broadcasts over the same graph).
+  const net::CsrTopology final_csr =
+      net::CsrTopology::build(scenario.topology, scenario.network);
+  result.lambda =
+      metrics::eval_all_sources(final_csr, scenario.network, config.coverage);
   result.lambda50 =
-      metrics::eval_all_sources(scenario.topology, scenario.network, 0.50);
+      metrics::eval_all_sources(final_csr, scenario.network, 0.50);
   result.edge_latencies =
       metrics::p2p_edge_latencies(scenario.topology, scenario.network);
   return result;

@@ -45,9 +45,19 @@ double lambda_for_broadcast(const sim::BroadcastResult& result,
 std::vector<double> eval_all_sources(const net::Topology& topology,
                                      const net::Network& network,
                                      double coverage) {
+  return eval_all_sources(net::CsrTopology::build(topology, network), network,
+                          coverage);
+}
+
+std::vector<double> eval_all_sources(const net::CsrTopology& csr,
+                                     const net::Network& network,
+                                     double coverage) {
+  PERIGEE_ASSERT(csr.size() == network.size());
   std::vector<double> lambda(network.size());
+  sim::BroadcastScratch scratch;
+  sim::BroadcastResult result;
   for (net::NodeId v = 0; v < network.size(); ++v) {
-    const auto result = sim::simulate_broadcast(topology, network, v);
+    sim::simulate_broadcast(csr, v, scratch, result);
     lambda[v] = lambda_for_broadcast(result, network, coverage);
   }
   return lambda;

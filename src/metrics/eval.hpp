@@ -1,40 +1,51 @@
-// The paper's performance metric (§2.2): λv is the minimum time for a block
-// mined and broadcast by v to reach nodes totalling at least a target
-// fraction (default 90%) of the network's hash power.
+/// \file
+/// \brief The paper's performance metric (§2.2): λv is the minimum time for a
+/// block mined and broadcast by v to reach nodes totalling at least a target
+/// fraction (default 90%) of the network's hash power.
 #pragma once
 
 #include <vector>
 
+#include "net/csr.hpp"
 #include "net/network.hpp"
 #include "net/topology.hpp"
 #include "sim/broadcast.hpp"
 
 namespace perigee::metrics {
 
-// λ for one broadcast: sorts nodes by arrival and accumulates hash power
-// (the miner's own power counts at time 0) until `coverage` of the total is
-// reached; +inf if the reachable set never covers it.
+/// λ for one broadcast: sorts nodes by arrival and accumulates hash power
+/// (the miner's own power counts at time 0) until `coverage` of the total is
+/// reached; +inf if the reachable set never covers it.
 double lambda_for_broadcast(const sim::BroadcastResult& result,
                             const net::Network& network, double coverage);
 
-// λv for every source v (unsorted, index == NodeId). One broadcast per
-// source.
+/// λv for every source v (unsorted, index == NodeId). Compiles one
+/// `net::CsrTopology` and batches all n source broadcasts over it with a
+/// single reusable scratch, so the per-source cost is pure engine work.
 std::vector<double> eval_all_sources(const net::Topology& topology,
                                      const net::Network& network,
                                      double coverage = 0.90);
 
-// λv on the fully-connected topology ("ideal" in Figure 3), computed as a
-// dense per-source Dijkstra without materializing an O(n^2) Topology. When
-// `infra` is given, its infrastructure links (e.g. the §5.4 relay tree) are
-// overlaid on the complete graph so the bound stays a true lower bound for
-// scenarios where the overlay exists.
+/// Same batched evaluation over a snapshot the caller already compiled
+/// (e.g. the experiment harness evaluating several coverages of one final
+/// topology). `network` supplies the hash powers for the coverage
+/// accumulation and must be the one the snapshot was built over.
+std::vector<double> eval_all_sources(const net::CsrTopology& csr,
+                                     const net::Network& network,
+                                     double coverage = 0.90);
+
+/// λv on the fully-connected topology ("ideal" in Figure 3), computed as a
+/// dense per-source Dijkstra without materializing an O(n^2) Topology. When
+/// `infra` is given, its infrastructure links (e.g. the §5.4 relay tree) are
+/// overlaid on the complete graph so the bound stays a true lower bound for
+/// scenarios where the overlay exists.
 std::vector<double> eval_ideal(const net::Network& network,
                                double coverage = 0.90,
                                const net::Topology* infra = nullptr);
 
-// Same bound evaluated at several coverages from a single Dijkstra pass per
-// source (the pass dominates; extra coverages are nearly free). Returns one
-// λ vector per coverage, in input order.
+/// Same bound evaluated at several coverages from a single Dijkstra pass per
+/// source (the pass dominates; extra coverages are nearly free). Returns one
+/// λ vector per coverage, in input order.
 std::vector<std::vector<double>> eval_ideal_multi(
     const net::Network& network, const std::vector<double>& coverages,
     const net::Topology* infra = nullptr);

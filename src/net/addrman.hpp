@@ -1,13 +1,14 @@
-// Peer discovery: per-node address books ("addrMan", paper §2.1).
-//
-// Bitcoin nodes do not know the whole network; each keeps a bounded local
-// database of peer addresses, seeded by a bootstrap server and refreshed by
-// gossiping addresses with neighbors. The paper's evaluation assumes full
-// knowledge of all IPs; this module removes that assumption so experiments
-// can study Perigee under partial views (§6's discussion of limited peer
-// addresses under churn). When a RoundRunner carries an AddrMan, exploration
-// samples from the dialer's address book instead of from the global node
-// set.
+/// \file
+/// \brief Peer discovery: per-node address books ("addrMan", paper §2.1).
+///
+/// Bitcoin nodes do not know the whole network; each keeps a bounded local
+/// database of peer addresses, seeded by a bootstrap server and refreshed by
+/// gossiping addresses with neighbors. The paper's evaluation assumes full
+/// knowledge of all IPs; this module removes that assumption so experiments
+/// can study Perigee under partial views (§6's discussion of limited peer
+/// addresses under churn). When a RoundRunner carries an AddrMan, exploration
+/// samples from the dialer's address book instead of from the global node
+/// set.
 #pragma once
 
 #include <cstdint>
@@ -19,34 +20,40 @@
 
 namespace perigee::net {
 
+/// Bounded per-node address books with gossip refresh.
 class AddrMan {
  public:
-  // `capacity` bounds each node's address book (excluding self). The book
-  // starts empty; call bootstrap() to seed it.
+  /// `capacity` bounds each node's address book (excluding self). The book
+  /// starts empty; call bootstrap() to seed it.
   AddrMan(std::size_t n_nodes, std::size_t capacity);
 
+  /// Number of nodes (books).
   std::size_t size() const { return books_.size(); }
+  /// Per-book capacity.
   std::size_t capacity() const { return capacity_; }
 
-  // Seeds every node's book with `count` random addresses (bootstrap-server
-  // behaviour) plus, optionally, its current topology neighbors.
+  /// Seeds every node's book with `count` random addresses (bootstrap-server
+  /// behaviour).
   void bootstrap(util::Rng& rng, std::size_t count);
+  /// Adds each node's current topology neighbors to its book.
   void add_neighbors_of(const Topology& topology);
 
+  /// True when `addr` is in v's book.
   bool knows(NodeId v, NodeId addr) const;
+  /// Number of addresses v currently knows.
   std::size_t known_count(NodeId v) const { return books_[v].size(); }
 
-  // Inserts `addr` into v's book; when full, a random existing entry is
-  // evicted (Bitcoin's addrman similarly overwrites buckets). Self-inserts
-  // and duplicates are no-ops. Returns true if the book changed.
+  /// Inserts `addr` into v's book; when full, a random existing entry is
+  /// evicted (Bitcoin's addrman similarly overwrites buckets). Self-inserts
+  /// and duplicates are no-ops. Returns true if the book changed.
   bool learn(NodeId v, NodeId addr, util::Rng& rng);
 
-  // A random known address of v, or kInvalidNode if the book is empty.
+  /// A random known address of v, or kInvalidNode if the book is empty.
   NodeId sample(NodeId v, util::Rng& rng) const;
 
-  // One round of address gossip: every node sends `fanout` random entries
-  // from its book to each topology neighbor (cf. Bitcoin's periodic ADDR
-  // messages). Nodes also learn the addresses of the neighbors themselves.
+  /// One round of address gossip: every node sends `fanout` random entries
+  /// from its book to each topology neighbor (cf. Bitcoin's periodic ADDR
+  /// messages). Nodes also learn the addresses of the neighbors themselves.
   void gossip_round(const Topology& topology, util::Rng& rng,
                     std::size_t fanout = 2);
 

@@ -1,0 +1,87 @@
+#include "net/csr.hpp"
+
+#include "util/assert.hpp"
+
+namespace perigee::net {
+
+CsrTopology CsrTopology::build(const Topology& topology,
+                               const Network& network) {
+  PERIGEE_ASSERT(topology.size() == network.size());
+  const std::size_t n = topology.size();
+
+  CsrTopology csr;
+  csr.version_ = topology.version();
+  csr.offsets_.resize(n + 1);
+  csr.offsets_[0] = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    csr.offsets_[v + 1] = csr.offsets_[v] + topology.adjacency(v).size();
+  }
+  const std::size_t links = csr.offsets_[n];
+  csr.peer_.resize(links);
+  csr.delay_ms_.resize(links);
+  csr.control_ms_.resize(links);
+  csr.forwards_.resize(n);
+  csr.validation_ms_.resize(n);
+
+  for (NodeId v = 0; v < n; ++v) {
+    csr.forwards_[v] = network.profile(v).forwards ? 1 : 0;
+    csr.validation_ms_[v] = network.validation_ms(v);
+    std::size_t e = csr.offsets_[v];
+    for (const auto& link : topology.adjacency(v)) {
+      csr.peer_[e] = link.peer;
+      if (link.is_infra()) {
+        csr.delay_ms_[e] = link.infra_ms;
+        csr.control_ms_[e] = link.infra_ms;
+      } else {
+        // One latency-model call per entry: the block delay derives from the
+        // same link_ms the control delay stores.
+        const double link_ms = network.link_ms(v, link.peer);
+        csr.delay_ms_[e] =
+            network.edge_delay_from_link_ms(link_ms, v, link.peer);
+        csr.control_ms_[e] = link_ms;
+      }
+      ++e;
+    }
+  }
+  return csr;
+}
+
+double CsrTopology::block_delay(NodeId u, NodeId v) const {
+  const auto row = peers(u);
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (row[i] == v) return delays(u)[i];
+  }
+  PERIGEE_ASSERT_MSG(false, "block_delay of non-adjacent pair");
+  return 0.0;
+}
+
+double CsrTopology::control_delay(NodeId u, NodeId v) const {
+  const auto row = peers(u);
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (row[i] == v) return control_delays(u)[i];
+  }
+  PERIGEE_ASSERT_MSG(false, "control_delay of non-adjacent pair");
+  return 0.0;
+}
+
+bool CsrTopology::profiles_current(const Network& network) const {
+  if (forwards_.size() != network.size()) return false;
+  for (NodeId v = 0; v < network.size(); ++v) {
+    if (forwards(v) != network.profile(v).forwards ||
+        validation_ms(v) != network.validation_ms(v)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+const CsrTopology& CsrCache::get(const Topology& topology,
+                                 const Network& network) {
+  if (!csr_ || csr_->built_from_version() != topology.version() ||
+      !csr_->profiles_current(network)) {
+    csr_ = CsrTopology::build(topology, network);
+  }
+  return *csr_;
+}
+
+}  // namespace perigee::net

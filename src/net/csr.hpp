@@ -1,0 +1,136 @@
+/// \file
+/// \brief Compiled flat-graph (compressed sparse row) view of a Topology.
+///
+/// `Topology` is the *mutable* graph the protocol rewires between rounds; its
+/// per-node link lists are the right shape for connect/disconnect but the
+/// wrong shape for the broadcast hot loop, which visits every directed link of
+/// the graph once per simulated block and pays a virtual `LatencyModel` call
+/// per edge. `CsrTopology` is the immutable compiled form: one contiguous
+/// offsets/peers/delay triplet with every per-edge δ(u,v) pre-resolved (infra
+/// override or `Network::edge_delay_ms`), so the engine's inner loop is a
+/// single array read per edge. Per-node attributes the engines consult
+/// (validation delay Δv, the forwards flag) are cached alongside.
+///
+/// A CSR snapshot is built once per round — the topology is static within a
+/// round (paper §4.1) — and invalidated by rewiring: `Topology` bumps a
+/// version counter on every mutation and `CsrCache` rebuilds lazily when the
+/// counter moved. Results computed over the CSR are bit-identical to walking
+/// the `Topology` directly; `tests/sim_csr_parity_test.cpp` holds the legacy
+/// engine as the reference oracle.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/network.hpp"
+#include "net/topology.hpp"
+#include "net/types.hpp"
+
+namespace perigee::net {
+
+/// Immutable compressed-sparse-row snapshot of a `Topology` over a `Network`.
+///
+/// Row `v` lists the full relay adjacency of `v` (outgoing + incoming +
+/// infra) in exactly `Topology::adjacency(v)` order, so index `i` of row `v`
+/// corresponds to `adjacency(v)[i]` — consumers that captured neighbor lists
+/// from the Topology (e.g. `ObservationTable`) can index CSR rows directly.
+class CsrTopology {
+ public:
+  /// Compiles a snapshot. O(E) `edge_delay_ms`/`link_ms` evaluations; every
+  /// later traversal is pure array reads. The snapshot records
+  /// `topology.version()`; the Network must stay unchanged for the snapshot's
+  /// lifetime (latency-model swaps happen during scenario build, before any
+  /// simulation).
+  static CsrTopology build(const Topology& topology, const Network& network);
+
+  /// Number of nodes.
+  std::size_t size() const { return offsets_.size() - 1; }
+  /// Number of directed link entries (2x undirected edge count).
+  std::size_t num_links() const { return peer_.size(); }
+  /// `Topology::version()` at build time; used by `CsrCache` invalidation.
+  std::uint64_t built_from_version() const { return version_; }
+
+  /// Neighbors of `v`, in `Topology::adjacency(v)` order.
+  std::span<const NodeId> peers(NodeId v) const {
+    return {peer_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
+  }
+  /// Block delay δ(v, peer) per neighbor of `v` (infra override or
+  /// propagation + transmission), parallel to `peers(v)`.
+  std::span<const double> delays(NodeId v) const {
+    return {delay_ms_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
+  }
+  /// Control-message delay per neighbor of `v`: infra override or pure
+  /// propagation latency (no handshake factor, no transmission term). Used by
+  /// the INV/GETDATA gossip engine.
+  std::span<const double> control_delays(NodeId v) const {
+    return {control_ms_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
+  }
+
+  /// Cached `NodeProfile::forwards` (withholding nodes relay nothing).
+  bool forwards(NodeId v) const { return forwards_[v] != 0; }
+  /// Cached per-node validation delay Δv in ms.
+  double validation_ms(NodeId v) const { return validation_ms_[v]; }
+
+  /// Raw arrays for the engine hot loop: `offsets()[v] .. offsets()[v+1]`
+  /// indexes `peer_data()` / `delay_data()`.
+  const std::size_t* offsets() const { return offsets_.data(); }
+  const NodeId* peer_data() const { return peer_.data(); }
+  const double* delay_data() const { return delay_ms_.data(); }
+
+  /// Block delay of the (adjacent) pair — O(deg(u)) row scan. Both delay
+  /// kinds are symmetric, so the u-side row answers for either direction.
+  double block_delay(NodeId u, NodeId v) const;
+  /// Control-message delay of the (adjacent) pair — O(deg(u)) row scan.
+  double control_delay(NodeId u, NodeId v) const;
+
+  /// True when the cached per-node attributes (forwards, Δv) still match the
+  /// network's live profiles. O(n); used by CsrCache to catch mid-run profile
+  /// mutations (e.g. a node turning withholding) that the topology version
+  /// counter cannot see.
+  bool profiles_current(const Network& network) const;
+
+ private:
+  CsrTopology() = default;
+
+  std::uint64_t version_ = 0;
+  std::vector<std::size_t> offsets_;      ///< n+1 row boundaries into arrays
+  std::vector<NodeId> peer_;              ///< flattened adjacency
+  std::vector<double> delay_ms_;          ///< pre-resolved block δ per entry
+  std::vector<double> control_ms_;        ///< pre-resolved control δ per entry
+  std::vector<std::uint8_t> forwards_;    ///< per-node relay flag
+  std::vector<double> validation_ms_;     ///< per-node Δv
+};
+
+/// Lazy rebuild-on-rewire cache: hands out a `CsrTopology` snapshot that is
+/// current for the topology's version, rebuilding only when a mutation
+/// (connect/disconnect/add_infra_edge) bumped the counter since the last
+/// `get`. The round loop calls `get` once per round: within a round the
+/// version is stable, so K blocks share one compile; across rounds the
+/// selectors' rewiring invalidates it automatically.
+///
+/// Per-node profile changes (forwards, validation_ms) are detected by an
+/// O(n) recheck on every `get` — cheap next to the O(E log V) blocks the
+/// snapshot serves — so scenarios that flip nodes to withholding mid-run
+/// (examples/eclipse_attack.cpp) stay exact even when nothing rewired.
+/// Per-*edge* changes under an unchanged topology (a latency-model swap, a
+/// bandwidth edit) are NOT detected: call `invalidate()` after those.
+class CsrCache {
+ public:
+  /// Returns a snapshot current for `topology.version()` and the network's
+  /// live per-node profiles, rebuilding if needed. The reference stays valid
+  /// until the next `get`/`invalidate`.
+  const CsrTopology& get(const Topology& topology, const Network& network);
+
+  /// Drops the snapshot; next `get` rebuilds unconditionally. Call when
+  /// per-edge inputs changed under an unchanged topology (e.g. a
+  /// latency-model swap), which neither the version counter nor the profile
+  /// recheck can see.
+  void invalidate() { csr_.reset(); }
+
+ private:
+  std::optional<CsrTopology> csr_;
+};
+
+}  // namespace perigee::net

@@ -1,5 +1,7 @@
-// Metric-space embedding utilities (paper §3.1): nodes as uniform points in
-// the d-dimensional unit hypercube, Euclidean point-to-point latency.
+/// \file
+/// \brief Metric-space embedding utilities (paper §3.1): nodes as uniform
+/// points in the d-dimensional unit hypercube, Euclidean point-to-point
+/// latency.
 #pragma once
 
 #include <vector>
@@ -9,18 +11,18 @@
 
 namespace perigee::net {
 
-// Assigns uniform [0,1]^dim coordinates to each profile (tail dims zeroed).
+/// Assigns uniform [0,1]^dim coordinates to each profile (tail dims zeroed).
 void embed_uniform(std::vector<NodeProfile>& profiles, int dim,
                    util::Rng& rng);
 
-// Euclidean distance over the first `dim` coordinates.
+/// Euclidean distance over the first `dim` coordinates.
 double embed_distance(const NodeProfile& a, const NodeProfile& b, int dim);
 
-// The geometric-graph connection threshold of Theorem 2:
-// r = factor * (log n / n)^(1/d).
+/// The geometric-graph connection threshold of Theorem 2:
+/// r = factor * (log n / n)^(1/d).
 double geometric_threshold(std::size_t n, int dim, double factor = 1.0);
 
-// The Erdős–Rényi edge probability of Theorem 1: p = c * log n / n.
+/// The Erdős–Rényi edge probability of Theorem 1: p = c * log n / n.
 double random_graph_probability(std::size_t n, double c = 1.0);
 
 }  // namespace perigee::net

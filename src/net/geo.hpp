@@ -1,12 +1,13 @@
-// Geographic substrate: regions, inter-region delays, region sampling.
-//
-// The paper places 1000 bitnodes across seven regions and draws pairwise
-// propagation delays from the iPlane measurement dataset. Neither dataset is
-// shipped here, so this module provides a synthetic equivalent (see
-// DESIGN.md §4): a symmetric 7x7 one-way latency matrix with realistic
-// magnitudes plus a bitnodes-like region mix. The structural property the
-// algorithms exploit — intra-continent links are several times cheaper than
-// inter-continent links (Figure 5's bimodality) — is preserved.
+/// \file
+/// \brief Geographic substrate: regions, inter-region delays, region sampling.
+///
+/// The paper places 1000 bitnodes across seven regions and draws pairwise
+/// propagation delays from the iPlane measurement dataset. Neither dataset is
+/// shipped here, so this module provides a synthetic equivalent (see
+/// DESIGN.md §4): a symmetric 7x7 one-way latency matrix with realistic
+/// magnitudes plus a bitnodes-like region mix. The structural property the
+/// algorithms exploit — intra-continent links are several times cheaper than
+/// inter-continent links (Figure 5's bimodality) — is preserved.
 #pragma once
 
 #include <array>
@@ -15,6 +16,7 @@
 
 namespace perigee::net {
 
+/// The seven coarse geographic regions of the synthetic substrate.
 enum class Region : std::uint8_t {
   NorthAmerica = 0,
   SouthAmerica,
@@ -25,21 +27,23 @@ enum class Region : std::uint8_t {
   Oceania,
 };
 
+/// Number of Region values.
 inline constexpr int kNumRegions = 7;
 
+/// Human-readable region name (for tables and histograms).
 std::string_view region_name(Region r);
 
-// Mean one-way propagation delay in milliseconds between hosts in regions
-// a and b (symmetric). Diagonal entries are intra-region delays.
+/// Mean one-way propagation delay in milliseconds between hosts in regions
+/// a and b (symmetric). Diagonal entries are intra-region delays.
 double region_base_latency_ms(Region a, Region b);
 
-// Bitnodes-like population mix (fractions summing to 1): NA/EU heavy,
-// long tail elsewhere.
+/// Bitnodes-like population mix (fractions summing to 1): NA/EU heavy,
+/// long tail elsewhere.
 const std::array<double, kNumRegions>& region_weights();
 
-// Smallest and largest entries of the base matrix; handy for histogram
-// axes and for tests.
+/// Smallest entry of the base matrix; handy for histogram axes and tests.
 double min_region_latency_ms();
+/// Largest entry of the base matrix; handy for histogram axes and tests.
 double max_region_latency_ms();
 
 }  // namespace perigee::net

@@ -1,4 +1,6 @@
-// Link propagation-latency models (paper §2.1: constant symmetric δ(u,v)).
+/// \file
+/// \brief Link propagation-latency models (paper §2.1: constant symmetric
+/// δ(u,v)).
 #pragma once
 
 #include <cstdint>
@@ -11,22 +13,23 @@
 
 namespace perigee::net {
 
-// Abstract symmetric link latency in milliseconds. Implementations must be
-// deterministic: repeated calls with the same (u, v) return the same value,
-// and link_ms(u, v) == link_ms(v, u).
+/// Abstract symmetric link latency in milliseconds. Implementations must be
+/// deterministic: repeated calls with the same (u, v) return the same value,
+/// and link_ms(u, v) == link_ms(v, u).
 class LatencyModel {
  public:
   virtual ~LatencyModel() = default;
+  /// One-way propagation latency between u and v in ms.
   virtual double link_ms(NodeId u, NodeId v) const = 0;
 };
 
-// Region-matrix latency with deterministic per-pair jitter and per-node
-// access delay:
-//   δ(u,v) = base(region_u, region_v) * jitter(u,v) + access_u + access_v
-// jitter(u,v) is a hash of (seed, min(u,v), max(u,v)) mapped into
-// [1-jitter_frac, 1+jitter_frac], so each unordered pair gets a stable
-// independent multiplier — the role the iPlane per-path measurements play in
-// the paper.
+/// Region-matrix latency with deterministic per-pair jitter and per-node
+/// access delay:
+///   δ(u,v) = base(region_u, region_v) * jitter(u,v) + access_u + access_v
+/// jitter(u,v) is a hash of (seed, min(u,v), max(u,v)) mapped into
+/// [1-jitter_frac, 1+jitter_frac], so each unordered pair gets a stable
+/// independent multiplier — the role the iPlane per-path measurements play in
+/// the paper.
 class GeoLatencyModel final : public LatencyModel {
  public:
   GeoLatencyModel(const std::vector<NodeProfile>* profiles, std::uint64_t seed,
@@ -40,14 +43,15 @@ class GeoLatencyModel final : public LatencyModel {
   double jitter_frac_;
 };
 
-// Euclidean latency over the metric embedding (§3.1): δ(u,v) =
-// scale_ms * ||X_u - X_v||_2 over the first `dim` coordinates.
+/// Euclidean latency over the metric embedding (§3.1): δ(u,v) =
+/// scale_ms * ||X_u - X_v||_2 over the first `dim` coordinates.
 class EuclideanLatencyModel final : public LatencyModel {
  public:
   EuclideanLatencyModel(const std::vector<NodeProfile>* profiles, int dim,
                         double scale_ms = 1.0);
 
   double link_ms(NodeId u, NodeId v) const override;
+  /// The embedding dimension distances are computed over.
   int dim() const { return dim_; }
 
  private:
@@ -56,9 +60,9 @@ class EuclideanLatencyModel final : public LatencyModel {
   double scale_ms_;
 };
 
-// Decorator scaling the latency of links whose endpoints both satisfy a
-// predicate — e.g. Figure 4(b)'s "links between high-power miners are much
-// faster than default".
+/// Decorator scaling the latency of links whose endpoints both satisfy a
+/// predicate — e.g. Figure 4(b)'s "links between high-power miners are much
+/// faster than default".
 class PairClassScaledModel final : public LatencyModel {
  public:
   PairClassScaledModel(std::unique_ptr<LatencyModel> base,

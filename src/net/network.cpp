@@ -65,7 +65,12 @@ Network Network::build(const NetworkOptions& options) {
 }
 
 double Network::edge_delay_ms(NodeId u, NodeId v) const {
-  double delay = options_.handshake_factor * latency_->link_ms(u, v);
+  return edge_delay_from_link_ms(latency_->link_ms(u, v), u, v);
+}
+
+double Network::edge_delay_from_link_ms(double link_ms, NodeId u,
+                                        NodeId v) const {
+  double delay = options_.handshake_factor * link_ms;
   if (options_.block_size_kb > 0.0) {
     const double bw = std::min((*profiles_)[u].bandwidth_mbps,
                                (*profiles_)[v].bandwidth_mbps);

@@ -1,5 +1,7 @@
-// Per-node attributes (paper §2.1): region, validation delay Δv, access
-// bandwidth, hash power fv, and optional membership in a fast relay overlay.
+/// \file
+/// \brief Per-node attributes (paper §2.1): region, validation delay Δv,
+/// access bandwidth, hash power fv, and optional membership in a fast relay
+/// overlay.
 #pragma once
 
 #include <array>
@@ -9,38 +11,40 @@
 
 namespace perigee::net {
 
-// Maximum embedding dimension supported by NodeProfile::coords. Experiments
-// use d in {2, .., 5}; the unused tail is zero so Euclidean distances remain
-// correct for any d <= kMaxEmbedDim.
+/// Maximum embedding dimension supported by NodeProfile::coords. Experiments
+/// use d in {2, .., 5}; the unused tail is zero so Euclidean distances remain
+/// correct for any d <= kMaxEmbedDim.
 inline constexpr int kMaxEmbedDim = 5;
 
+/// Static per-node attributes drawn once at network construction.
 struct NodeProfile {
+  /// Geographic region (drives the base latency matrix).
   Region region = Region::NorthAmerica;
 
-  // Position in the metric-embedding model ([0,1]^d, §3.1). Only used by
-  // EuclideanLatencyModel-backed networks.
+  /// Position in the metric-embedding model ([0,1]^d, §3.1). Only used by
+  /// EuclideanLatencyModel-backed networks.
   std::array<double, kMaxEmbedDim> coords{};
 
-  // Per-node access delay added to every link touching this node (last-mile
-  // propagation component), in ms.
+  /// Per-node access delay added to every link touching this node (last-mile
+  /// propagation component), in ms.
   double access_ms = 0.0;
 
-  // Time to cryptographically validate a block before relaying (Δv), ms.
+  /// Time to cryptographically validate a block before relaying (Δv), ms.
   double validation_ms = kDefaultValidationMs;
 
-  // Access bandwidth in Mbit/s; with the default "small block" setting the
-  // transmission term is zero and this is unused.
+  /// Access bandwidth in Mbit/s; with the default "small block" setting the
+  /// transmission term is zero and this is unused.
   double bandwidth_mbps = 33.0;
 
-  // Fraction of total network hash power held by this node (sums to 1).
+  /// Fraction of total network hash power held by this node (sums to 1).
   double hash_power = 0.0;
 
-  // True for members of a fast block-distribution overlay (§5.4).
+  /// True for members of a fast block-distribution overlay (§5.4).
   bool relay = false;
 
-  // False for a misbehaving node that accepts blocks but never relays them
-  // (the protocol-deviation scenario of §1: such a node should be penalized
-  // by its neighbors' scoring and disconnected).
+  /// False for a misbehaving node that accepts blocks but never relays them
+  /// (the protocol-deviation scenario of §1: such a node should be penalized
+  /// by its neighbors' scoring and disconnected).
   bool forwards = true;
 };
 

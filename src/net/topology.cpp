@@ -25,6 +25,7 @@ bool Topology::connect(NodeId u, NodeId v) {
   out_[u].push_back(v);
   ++in_counts_[v];
   adj_add(u, v, -1.0);
+  ++version_;
   return true;
 }
 
@@ -37,6 +38,7 @@ void Topology::disconnect(NodeId u, NodeId v) {
   PERIGEE_ASSERT(in_counts_[v] > 0);
   --in_counts_[v];
   adj_remove(u, v);
+  ++version_;
 }
 
 void Topology::disconnect_all(NodeId v) {
@@ -58,6 +60,7 @@ bool Topology::add_infra_edge(NodeId u, NodeId v, double latency_ms) {
   infra_[u].emplace_back(v, latency_ms);
   infra_[v].emplace_back(u, latency_ms);
   adj_add(u, v, latency_ms);
+  ++version_;
   return true;
 }
 

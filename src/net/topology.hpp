@@ -1,17 +1,19 @@
-// Topology: the evolving p2p connection graph (paper §2.1).
-//
-// Each node maintains up to `out_cap` outgoing connections (Bitcoin: 8) and
-// accepts up to `in_cap` incoming connections (paper: 20); a node whose
-// incoming slots are full declines further requests and the dialer must pick
-// another peer. Communication over an established connection is
-// bidirectional, so the relay adjacency of a node is the union of its
-// outgoing, incoming, and infrastructure (relay-overlay) links.
-//
-// Infrastructure links model §5.4's fast block-distribution network: they are
-// installed by the scenario (not by the protocol), do not count against
-// either degree cap, and carry their own latency override.
+/// \file
+/// \brief Topology: the evolving p2p connection graph (paper §2.1).
+///
+/// Each node maintains up to `out_cap` outgoing connections (Bitcoin: 8) and
+/// accepts up to `in_cap` incoming connections (paper: 20); a node whose
+/// incoming slots are full declines further requests and the dialer must pick
+/// another peer. Communication over an established connection is
+/// bidirectional, so the relay adjacency of a node is the union of its
+/// outgoing, incoming, and infrastructure (relay-overlay) links.
+///
+/// Infrastructure links model §5.4's fast block-distribution network: they are
+/// installed by the scenario (not by the protocol), do not count against
+/// either degree cap, and carry their own latency override.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <utility>
 #include <vector>
@@ -20,66 +22,88 @@
 
 namespace perigee::net {
 
+/// Per-node connection caps (paper §2.1 / §5.1 defaults).
 struct TopologyLimits {
-  int out_cap = kDefaultOutDegree;
-  int in_cap = kDefaultInCap;
+  int out_cap = kDefaultOutDegree;  ///< dout: outgoing connection slots
+  int in_cap = kDefaultInCap;       ///< din: incoming connection cap
 };
 
+/// Mutable connection graph with degree caps and an infra overlay.
+///
+/// Every mutation bumps `version()`, which `CsrCache` (net/csr.hpp) uses to
+/// invalidate compiled flat-graph snapshots on rewire.
 class Topology {
  public:
-  // One adjacency entry: a neighbor plus, for infra links, the latency
-  // override in ms (negative == ordinary p2p link, use the Network's δ).
+  /// One adjacency entry: a neighbor plus, for infra links, the latency
+  /// override in ms (negative == ordinary p2p link, use the Network's δ).
   struct Link {
-    NodeId peer;
-    double infra_ms;  // < 0 for p2p links
+    NodeId peer;      ///< the adjacent node
+    double infra_ms;  ///< infra latency override; < 0 for p2p links
+    /// True when this is an infrastructure (relay-overlay) link.
     bool is_infra() const { return infra_ms >= 0.0; }
   };
 
   explicit Topology(std::size_t n, TopologyLimits limits = {});
 
+  /// Number of nodes (fixed at construction).
   std::size_t size() const { return out_.size(); }
+  /// The degree caps this graph enforces.
   const TopologyLimits& limits() const { return limits_; }
 
-  // Establishes the outgoing connection u -> v. Returns false (and changes
-  // nothing) if u == v, the pair is already adjacent in any direction or
-  // layer, u's outgoing slots are full, or v declines (incoming cap).
+  /// Monotone mutation counter: bumped by every successful connect /
+  /// disconnect / add_infra_edge. Snapshot consumers compare it to decide
+  /// whether a compiled view (net::CsrTopology) is still current.
+  std::uint64_t version() const { return version_; }
+
+  /// Establishes the outgoing connection u -> v. Returns false (and changes
+  /// nothing) if u == v, the pair is already adjacent in any direction or
+  /// layer, u's outgoing slots are full, or v declines (incoming cap).
   bool connect(NodeId u, NodeId v);
 
-  // Tears down the outgoing connection u -> v (must exist).
+  /// Tears down the outgoing connection u -> v (must exist).
   void disconnect(NodeId u, NodeId v);
 
-  // Tears down every p2p connection touching v, in both directions (infra
-  // links are left in place). Models a node leaving the network (churn).
+  /// Tears down every p2p connection touching v, in both directions (infra
+  /// links are left in place). Models a node leaving the network (churn).
   void disconnect_all(NodeId v);
 
-  // Installs an undirected infrastructure link with explicit latency.
-  // Returns false if the pair is already adjacent.
+  /// Installs an undirected infrastructure link with explicit latency.
+  /// Returns false if the pair is already adjacent.
   bool add_infra_edge(NodeId u, NodeId v, double latency_ms);
 
+  /// True when the directed p2p edge u -> v exists.
   bool has_out(NodeId u, NodeId v) const;
+  /// True when u and v are connected in any direction or layer.
   bool are_adjacent(NodeId u, NodeId v) const;
+  /// The infra-link latency override of (u, v), if such a link exists.
   std::optional<double> infra_latency(NodeId u, NodeId v) const;
 
+  /// Current outgoing degree of v.
   int out_count(NodeId v) const { return static_cast<int>(out_[v].size()); }
+  /// Current incoming degree of v.
   int in_count(NodeId v) const { return in_counts_[v]; }
+  /// True when v declines further incoming connections.
   bool in_full(NodeId v) const { return in_counts_[v] >= limits_.in_cap; }
+  /// True when v cannot dial further outgoing connections.
   bool out_full(NodeId v) const { return out_count(v) >= limits_.out_cap; }
 
-  // Outgoing neighbor list of v (insertion order preserved).
+  /// Outgoing neighbor list of v (insertion order preserved).
   const std::vector<NodeId>& out(NodeId v) const { return out_[v]; }
 
-  // Full relay adjacency of v: outgoing + incoming + infra, duplicate-free.
+  /// Full relay adjacency of v: outgoing + incoming + infra, duplicate-free.
   const std::vector<Link>& adjacency(NodeId v) const { return adj_[v]; }
 
-  // All unique undirected p2p edges (u < v not guaranteed; each edge once,
-  // oriented from the dialer). Infra edges excluded.
+  /// All unique undirected p2p edges (u < v not guaranteed; each edge once,
+  /// oriented from the dialer). Infra edges excluded.
   std::vector<std::pair<NodeId, NodeId>> p2p_edges() const;
+  /// All unique undirected infra edges (u < v).
   std::vector<std::pair<NodeId, NodeId>> infra_edges() const;
 
+  /// Number of p2p connections (each undirected edge counted once).
   std::size_t num_p2p_edges() const;
 
-  // Aborts if any internal invariant is violated (degree caps, adjacency
-  // symmetry, duplicate-freeness). Tests call this after mutation storms.
+  /// Aborts if any internal invariant is violated (degree caps, adjacency
+  /// symmetry, duplicate-freeness). Tests call this after mutation storms.
   void validate() const;
 
  private:
@@ -87,6 +111,7 @@ class Topology {
   void adj_remove(NodeId a, NodeId b);
 
   TopologyLimits limits_;
+  std::uint64_t version_ = 0;
   std::vector<std::vector<NodeId>> out_;   // directed p2p: dialer -> acceptor
   std::vector<int> in_counts_;
   std::vector<std::vector<Link>> adj_;     // union adjacency with metadata

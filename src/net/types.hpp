@@ -1,4 +1,6 @@
-// Fundamental identifiers and protocol-wide constants (paper §2.1, §5.1).
+/// \file
+/// \brief Fundamental identifiers and protocol-wide constants (paper §2.1,
+/// §5.1).
 #pragma once
 
 #include <cstdint>
@@ -6,25 +8,32 @@
 
 namespace perigee::net {
 
+/// Dense node index; every module addresses nodes by NodeId.
 using NodeId = std::uint32_t;
+/// Sentinel for "no node" (empty address book, unset miner, ...).
 inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
 
+/// Monotone block identifier.
 using BlockId = std::uint64_t;
 
-// Bitcoin-like connection limits used throughout the paper's evaluation.
+/// Bitcoin-like outgoing connection limit used throughout the evaluation.
 inline constexpr int kDefaultOutDegree = 8;   // dout: outgoing connections
-inline constexpr int kDefaultInCap = 20;      // din:  incoming connection cap
+/// Bitcoin-like incoming connection cap used throughout the evaluation.
+inline constexpr int kDefaultInCap = 20;      // din: incoming connection cap
 
-// Perigee round parameters (paper §4, §5.1).
-inline constexpr int kDefaultKeep = 6;        // dv: retained neighbors
-inline constexpr int kDefaultExplore = 2;     // ev: random exploration slots
-inline constexpr int kDefaultBlocksPerRound = 100;  // |B| for Vanilla/Subset
+/// Perigee round parameter (paper §4, §5.1): dv retained neighbors.
+inline constexpr int kDefaultKeep = 6;
+/// Perigee round parameter (paper §4, §5.1): ev random exploration slots.
+inline constexpr int kDefaultExplore = 2;
+/// Perigee round parameter (paper §4, §5.1): |B| blocks per round for
+/// Vanilla/Subset.
+inline constexpr int kDefaultBlocksPerRound = 100;
 
-// Scoring percentile: neighbors are rated by the 90th percentile of their
-// relative delivery times.
+/// Scoring percentile: neighbors are rated by the 90th percentile of their
+/// relative delivery times.
 inline constexpr double kScorePercentile = 0.90;
 
-// Default mean block validation time (paper §5.1: 50 ms).
+/// Default mean block validation time (paper §5.1: 50 ms).
 inline constexpr double kDefaultValidationMs = 50.0;
 
 }  // namespace perigee::net

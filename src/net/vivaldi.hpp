@@ -1,18 +1,20 @@
-// Vivaldi decentralized network coordinates (Dabek et al., SIGCOMM 2004).
-//
-// The paper's §3.1 theory rests on the observation that Internet hosts embed
-// into a low-dimensional metric space whose distances predict latency.
-// Vivaldi is the canonical decentralized algorithm that *learns* such an
-// embedding from pairwise probes: every node keeps a coordinate and a local
-// confidence, and each measurement pulls the pair of coordinates together or
-// apart like a spring relaxing toward the measured latency.
-//
-// Here it powers the coordinate-greedy baseline (topo/coordinates.hpp): an
-// explicit-measurement alternative to Perigee that estimates coordinates
-// first and then dials the nearest peers. It inherits the weaknesses the
-// paper points out for explicit approaches — it models propagation latency
-// only (no validation/bandwidth/hash-power awareness) and trusts the
-// measurements it is fed.
+/// \file
+/// \brief Vivaldi decentralized network coordinates (Dabek et al., SIGCOMM
+/// 2004).
+///
+/// The paper's §3.1 theory rests on the observation that Internet hosts embed
+/// into a low-dimensional metric space whose distances predict latency.
+/// Vivaldi is the canonical decentralized algorithm that *learns* such an
+/// embedding from pairwise probes: every node keeps a coordinate and a local
+/// confidence, and each measurement pulls the pair of coordinates together or
+/// apart like a spring relaxing toward the measured latency.
+///
+/// Here it powers the coordinate-greedy baseline (topo/coordinates.hpp): an
+/// explicit-measurement alternative to Perigee that estimates coordinates
+/// first and then dials the nearest peers. It inherits the weaknesses the
+/// paper points out for explicit approaches — it models propagation latency
+/// only (no validation/bandwidth/hash-power awareness) and trusts the
+/// measurements it is fed.
 #pragma once
 
 #include <array>
@@ -24,37 +26,43 @@
 
 namespace perigee::net {
 
+/// Vivaldi tuning knobs.
 struct VivaldiParams {
-  int dim = 3;          // embedding dimension (paper cites R^5-ish spaces)
-  double ce = 0.25;     // confidence adaptation gain
-  double cc = 0.25;     // coordinate adaptation gain
-  int rounds = 40;      // probe rounds
-  int probes_per_round = 8;  // random peers probed per node per round
+  int dim = 3;          ///< embedding dimension (paper cites R^5-ish spaces)
+  double ce = 0.25;     ///< confidence adaptation gain
+  double cc = 0.25;     ///< coordinate adaptation gain
+  int rounds = 40;      ///< probe rounds
+  int probes_per_round = 8;  ///< random peers probed per node per round
 };
 
+/// The full set of per-node coordinates plus the probing schedule.
 class VivaldiSystem {
  public:
   explicit VivaldiSystem(std::size_t n, VivaldiParams params = {});
 
-  // One measurement: node `self` observed `rtt_ms` to `peer`. Updates only
-  // self's coordinate/error (the peer learns from its own probes).
+  /// One measurement: node `self` observed `rtt_ms` to `peer`. Updates only
+  /// self's coordinate/error (the peer learns from its own probes).
   void observe(NodeId self, NodeId peer, double rtt_ms,
                double peer_error, const std::array<double, 8>& peer_coords);
 
-  // Runs the full probing schedule against the network's true latencies:
-  // params.rounds rounds, each node probing params.probes_per_round random
-  // peers. Deterministic in `rng`.
+  /// Runs the full probing schedule against the network's true latencies:
+  /// params.rounds rounds, each node probing params.probes_per_round random
+  /// peers. Deterministic in `rng`.
   void run(const Network& network, util::Rng& rng);
 
+  /// Coordinate-space distance between the current estimates of u and v.
   double estimated_distance(NodeId u, NodeId v) const;
+  /// Current coordinate of v (tail dimensions zero).
   const std::array<double, 8>& coords(NodeId v) const { return coords_[v]; }
+  /// Current local error estimate of v.
   double error(NodeId v) const { return errors_[v]; }
 
-  // Mean |estimated - true| / true over sampled pairs; the usual Vivaldi
-  // quality metric (should drop well below 1 after convergence).
+  /// Mean |estimated - true| / true over sampled pairs; the usual Vivaldi
+  /// quality metric (should drop well below 1 after convergence).
   double mean_relative_error(const Network& network, util::Rng& rng,
                              std::size_t samples = 2000) const;
 
+  /// The parameters this system runs with.
   const VivaldiParams& params() const { return params_; }
 
  private:

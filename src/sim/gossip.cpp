@@ -21,28 +21,12 @@ struct Event {
   bool operator>(const Event& other) const { return time > other.time; }
 };
 
-// Control messages (INV, GETDATA) carry a hash, not the block: they pay the
-// propagation latency only, never the transmission term.
-double control_delay(const net::Topology& topology, const net::Network& network,
-                     net::NodeId u, net::NodeId v) {
-  if (auto infra = topology.infra_latency(u, v)) return *infra;
-  return network.link_ms(u, v);
-}
-
-double block_delay(const net::Topology& topology, const net::Network& network,
-                   net::NodeId u, net::NodeId v) {
-  if (auto infra = topology.infra_latency(u, v)) return *infra;
-  return network.edge_delay_ms(u, v);
-}
-
 }  // namespace
 
-GossipResult simulate_gossip(const net::Topology& topology,
-                             const net::Network& network, net::NodeId miner,
+GossipResult simulate_gossip(const net::CsrTopology& csr, net::NodeId miner,
                              const GossipConfig& config) {
-  PERIGEE_ASSERT(topology.size() == network.size());
-  PERIGEE_ASSERT(miner < network.size());
-  const std::size_t n = network.size();
+  const std::size_t n = csr.size();
+  PERIGEE_ASSERT(miner < n);
 
   GossipResult result;
   result.miner = miner;
@@ -55,17 +39,18 @@ GossipResult simulate_gossip(const net::Topology& topology,
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue;
 
   auto on_validated = [&](net::NodeId u, double t_ready) {
-    // Relay to every neighbor. Push mode sends the block itself; handshake
-    // mode announces with an INV.
-    for (const auto& link : topology.adjacency(u)) {
-      const net::NodeId v = link.peer;
-      if (config.mode == GossipConfig::Mode::Push) {
-        queue.push(Event{t_ready + block_delay(topology, network, u, v),
-                         MsgType::Block, u, v});
-      } else {
-        queue.push(Event{t_ready + control_delay(topology, network, u, v),
-                         MsgType::Inv, u, v});
-      }
+    // Relay to every neighbor. Push mode sends the block itself (full edge
+    // delay); handshake mode announces with an INV (control delay). Both
+    // costs are one pre-resolved array read per link.
+    const auto peers = csr.peers(u);
+    const auto costs = config.mode == GossipConfig::Mode::Push
+                           ? csr.delays(u)
+                           : csr.control_delays(u);
+    const MsgType type = config.mode == GossipConfig::Mode::Push
+                             ? MsgType::Block
+                             : MsgType::Inv;
+    for (std::size_t i = 0; i < peers.size(); ++i) {
+      queue.push(Event{t_ready + costs[i], type, u, peers[i]});
     }
   };
 
@@ -80,8 +65,8 @@ GossipResult simulate_gossip(const net::Topology& topology,
     if (has_block[v]) return;
     has_block[v] = true;
     result.arrival[v] = t;
-    if (!network.profile(v).forwards) return;  // withholding node
-    on_validated(v, t + network.validation_ms(v));
+    if (!csr.forwards(v)) return;  // withholding node
+    on_validated(v, t + csr.validation_ms(v));
   };
 
   // The miner holds its freshly mined block at t=0 and relays immediately
@@ -102,16 +87,14 @@ GossipResult simulate_gossip(const net::Topology& topology,
           // Request from the first announcer only; honest senders always
           // deliver, so no re-request timeout is modeled.
           requested[ev.to] = true;
-          queue.push(Event{
-              ev.time + control_delay(topology, network, ev.to, ev.from),
-              MsgType::Getdata, ev.to, ev.from});
+          queue.push(Event{ev.time + csr.control_delay(ev.to, ev.from),
+                           MsgType::Getdata, ev.to, ev.from});
         }
         break;
       case MsgType::Getdata:
         // ev.to is the node holding the block (it sent the INV).
         PERIGEE_ASSERT(has_block[ev.to]);
-        queue.push(Event{ev.time + block_delay(topology, network, ev.to,
-                                               ev.from),
+        queue.push(Event{ev.time + csr.block_delay(ev.to, ev.from),
                          MsgType::Block, ev.to, ev.from});
         break;
       case MsgType::Block:
@@ -123,6 +106,14 @@ GossipResult simulate_gossip(const net::Topology& topology,
     }
   }
   return result;
+}
+
+GossipResult simulate_gossip(const net::Topology& topology,
+                             const net::Network& network, net::NodeId miner,
+                             const GossipConfig& config) {
+  PERIGEE_ASSERT(topology.size() == network.size());
+  return simulate_gossip(net::CsrTopology::build(topology, network), miner,
+                         config);
 }
 
 }  // namespace perigee::sim

@@ -58,6 +58,42 @@ void ObservationTable::record_block(const net::Topology& topology,
   ++blocks_recorded_;
 }
 
+void ObservationTable::record_block(const net::CsrTopology& csr,
+                                    const BroadcastResult& result) {
+  PERIGEE_ASSERT(blocks_recorded_ < blocks_per_round_);
+  PERIGEE_ASSERT(nodes_.size() == csr.size());
+  const std::size_t b = blocks_recorded_;
+  for (net::NodeId v = 0; v < nodes_.size(); ++v) {
+    PerNode& pn = nodes_[v];
+    const std::size_t deg = pn.neighbors.size();
+    if (deg == 0) continue;
+    // Row v of the snapshot is adjacency(v) in capture order, so entry i is
+    // exactly the δ delivery_time would resolve for pn.links[i].
+    const auto delays = csr.delays(v);
+    PERIGEE_ASSERT(delays.size() == deg);
+    scratch_.resize(deg);
+    double t_min = util::kInf;
+    for (std::size_t i = 0; i < deg; ++i) {
+      const net::NodeId u = pn.neighbors[i];
+      const double ready = result.ready[u];
+      const double t = (!csr.forwards(u) && u != result.miner) ||
+                               std::isinf(ready)
+                           ? util::kInf
+                           : ready + delays[i];
+      scratch_[i] = t;
+      t_min = std::min(t_min, t);
+    }
+    for (std::size_t i = 0; i < deg; ++i) {
+      // Unreached neighbor (or fully unreached v): t̃ stays +inf.
+      const double rel = std::isinf(scratch_[i]) || std::isinf(t_min)
+                             ? util::kInf
+                             : scratch_[i] - t_min;
+      pn.rel[i * blocks_per_round_ + b] = rel;
+    }
+  }
+  ++blocks_recorded_;
+}
+
 void ObservationTable::record_gossip_block(const GossipResult& result) {
   PERIGEE_ASSERT(blocks_recorded_ < blocks_per_round_);
   PERIGEE_ASSERT_MSG(!result.edge_times.empty() ||

@@ -32,19 +32,21 @@ void RoundRunner::refresh_hash_power() {
 
 void RoundRunner::run_round() {
   obs_.begin_round(*topology_, static_cast<std::size_t>(blocks_per_round_));
+  // One flat-graph compile for the whole round: the topology only mutates in
+  // the update phase below, and the cache skips even this rebuild when no
+  // selector rewired anything last round.
+  const net::CsrTopology& csr = csr_cache_.get(*topology_, *network_);
   for (int b = 0; b < blocks_per_round_; ++b) {
     const auto miner = static_cast<net::NodeId>(sampler_.sample(miner_rng_));
     if (engine_ == Engine::Fast) {
-      const BroadcastResult result =
-          simulate_broadcast(*topology_, *network_, miner);
-      if (block_hook_) block_hook_(result);
-      obs_.record_block(*topology_, *network_, result);
+      simulate_broadcast(csr, miner, scratch_, block_result_);
+      if (block_hook_) block_hook_(block_result_);
+      obs_.record_block(csr, block_result_);
     } else {
       GossipConfig config;
       config.mode = GossipConfig::Mode::InvGetdata;
       config.record_edge_times = true;
-      const GossipResult result =
-          simulate_gossip(*topology_, *network_, miner, config);
+      const GossipResult result = simulate_gossip(csr, miner, config);
       if (block_hook_) {
         // Present the gossip outcome through the fast engine's result shape
         // so hooks (convergence tracking, tests) work with either engine.

@@ -1,8 +1,15 @@
-// Round runner (paper §4.1, Algorithm 1's outer loop).
-//
-// A round mines K blocks (miner drawn proportionally to hash power), collects
-// every node's observations, then executes the synchronous connection update
-// at all nodes in a freshly shuffled order.
+/// \file
+/// \brief Round runner (paper §4.1, Algorithm 1's outer loop).
+///
+/// A round mines K blocks (miner drawn proportionally to hash power), collects
+/// every node's observations, then executes the synchronous connection update
+/// at all nodes in a freshly shuffled order.
+///
+/// The topology is static within a round, so the runner compiles one
+/// `net::CsrTopology` snapshot per round (via a `net::CsrCache` keyed on the
+/// topology's mutation counter) and runs all K block simulations on it with a
+/// reusable `BroadcastScratch` — the engine's steady state performs no
+/// allocation and no per-edge latency-model calls.
 #pragma once
 
 #include <functional>
@@ -10,6 +17,7 @@
 #include <vector>
 
 #include "mining/sampler.hpp"
+#include "net/csr.hpp"
 #include "net/network.hpp"
 #include "net/topology.hpp"
 #include "sim/observations.hpp"
@@ -17,42 +25,48 @@
 
 namespace perigee::sim {
 
+/// Drives learning rounds: mine, observe, update.
 class RoundRunner {
  public:
-  // Which simulation backs the observations: the fast analytic engine
-  // (default; δ(u,v) folds the handshake in) or the message-level gossip
-  // engine, where neighbors are scored by INV announcement times.
+  /// Which simulation backs the observations: the fast analytic engine
+  /// (default; δ(u,v) folds the handshake in) or the message-level gossip
+  /// engine, where neighbors are scored by INV announcement times.
   enum class Engine { Fast, Gossip };
 
-  // `selectors` holds one policy instance per node (index == NodeId), letting
-  // policies carry per-node state (UCB history) and letting experiments mix
-  // policies (incremental-deployment ablation). Selector and topology are
-  // borrowed; the caller keeps them alive.
+  /// `selectors` holds one policy instance per node (index == NodeId), letting
+  /// policies carry per-node state (UCB history) and letting experiments mix
+  /// policies (incremental-deployment ablation). Selector and topology are
+  /// borrowed; the caller keeps them alive.
   RoundRunner(const net::Network& network, net::Topology& topology,
               std::vector<std::unique_ptr<NeighborSelector>> selectors,
               int blocks_per_round, std::uint64_t seed,
               Engine engine = Engine::Fast);
 
-  // Mines one round of blocks and runs the update at every node.
+  /// Mines one round of blocks and runs the update at every node.
   void run_round();
 
+  /// Runs `count` consecutive rounds.
   void run_rounds(int count);
 
+  /// Rounds completed so far.
   std::size_t rounds_run() const { return rounds_run_; }
+  /// The current round's observation matrix.
   const ObservationTable& observations() const { return obs_; }
+  /// The mutable topology being learned.
   net::Topology& topology() { return *topology_; }
 
-  // Rebuilds the miner sampler; call after mutating hash power mid-run.
+  /// Rebuilds the miner sampler; call after mutating hash power mid-run.
   void refresh_hash_power();
 
-  // Attaches a peer-discovery service: selectors explore from per-node
-  // address books, and one gossip exchange runs after each round's updates.
-  // The AddrMan is borrowed and must outlive the runner.
+  /// Attaches a peer-discovery service: selectors explore from per-node
+  /// address books, and one gossip exchange runs after each round's updates.
+  /// The AddrMan is borrowed and must outlive the runner.
   void set_addrman(net::AddrMan* addrman) { addrman_ = addrman; }
 
-  // Per-block hook (miner id, broadcast result); used by convergence
-  // tracking and tests. Called before observations are recorded.
+  /// Per-block hook (miner id, broadcast result); used by convergence
+  /// tracking and tests. Called before observations are recorded.
   using BlockHook = std::function<void(const BroadcastResult&)>;
+  /// Installs (or clears) the per-block hook.
   void set_block_hook(BlockHook hook) { block_hook_ = std::move(hook); }
 
  private:
@@ -65,6 +79,9 @@ class RoundRunner {
   util::Rng miner_rng_;
   util::Rng update_rng_;
   ObservationTable obs_;
+  net::CsrCache csr_cache_;       // one compile per round (or fewer)
+  BroadcastScratch scratch_;      // reused across every block of the run
+  BroadcastResult block_result_;  // reused output buffer (Fast engine)
   std::size_t rounds_run_ = 0;
   BlockHook block_hook_;
   net::AddrMan* addrman_ = nullptr;

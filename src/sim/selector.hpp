@@ -1,6 +1,7 @@
-// Extension point connecting the round runner to neighbor-selection
-// policies. Perigee's scoring methods (src/core) implement this interface;
-// static baselines use StaticSelector.
+/// \file
+/// \brief Extension point connecting the round runner to neighbor-selection
+/// policies. Perigee's scoring methods (src/core) implement this interface;
+/// static baselines use StaticSelector.
 #pragma once
 
 #include <cstddef>
@@ -13,31 +14,34 @@
 
 namespace perigee::sim {
 
+/// Everything a selector may consult (and mutate) during the update phase.
 struct RoundContext {
-  const ObservationTable& obs;
-  net::Topology& topology;
-  const net::Network& network;
-  util::Rng& rng;
-  std::size_t round_index;
-  // Non-null when the experiment runs under partial views: exploration must
-  // sample from each node's address book instead of the global node set.
+  const ObservationTable& obs;   ///< this round's delivery observations
+  net::Topology& topology;       ///< the graph to rewire
+  const net::Network& network;   ///< substrate (read-only)
+  util::Rng& rng;                ///< shared update-phase randomness
+  std::size_t round_index;       ///< 0-based index of the finished round
+  /// Non-null when the experiment runs under partial views: exploration must
+  /// sample from each node's address book instead of the global node set.
   const net::AddrMan* addrman = nullptr;
 };
 
+/// Per-node neighbor-selection policy invoked at the end of every round.
 class NeighborSelector {
  public:
   virtual ~NeighborSelector() = default;
 
-  // Invoked once per node per round, after all blocks of the round have been
-  // observed. The implementation may rewire `ctx.topology` for node `self`
-  // (its own outgoing connections only).
+  /// Invoked once per node per round, after all blocks of the round have been
+  /// observed. The implementation may rewire `ctx.topology` for node `self`
+  /// (its own outgoing connections only).
   virtual void on_round_end(net::NodeId self, RoundContext& ctx) = 0;
 
+  /// Short policy name for tables and logs.
   virtual const char* name() const = 0;
 };
 
-// Baseline policy: never rewires (random/geographic/Kademlia topologies stay
-// as built).
+/// Baseline policy: never rewires (random/geographic/Kademlia topologies stay
+/// as built).
 class StaticSelector final : public NeighborSelector {
  public:
   void on_round_end(net::NodeId, RoundContext&) override {}

@@ -1,0 +1,345 @@
+// CSR fast-path parity: the compiled-flat-graph engine must reproduce the
+// legacy Topology-walking engine *byte for byte* — same arrival and ready
+// vectors, down to the bit pattern of every double — across random
+// topologies, infra-override links, unreachable nodes, withholding nodes,
+// and both observation-recording paths. The legacy engine is the oracle.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <memory>
+
+#include "metrics/eval.hpp"
+#include "net/csr.hpp"
+#include "sim/broadcast.hpp"
+#include "sim/gossip.hpp"
+#include "sim/observations.hpp"
+#include "sim/rounds.hpp"
+#include "topo/builders.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace perigee {
+namespace {
+
+// Bitwise equality of double vectors: catches even -0.0 vs 0.0 or differing
+// NaN payloads, which EXPECT_DOUBLE_EQ would miss.
+::testing::AssertionResult bytes_equal(const std::vector<double>& a,
+                                       const std::vector<double>& b) {
+  if (a.size() != b.size()) {
+    return ::testing::AssertionFailure()
+           << "size " << a.size() << " vs " << b.size();
+  }
+  if (!a.empty() &&
+      std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) != 0) {
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (std::memcmp(&a[i], &b[i], sizeof(double)) != 0) {
+        return ::testing::AssertionFailure()
+               << "first mismatch at index " << i << ": " << a[i] << " vs "
+               << b[i];
+      }
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+void expect_parity(const net::Topology& topology, const net::Network& network,
+                   sim::BroadcastScratch& scratch) {
+  const net::CsrTopology csr = net::CsrTopology::build(topology, network);
+  sim::BroadcastResult fast;
+  for (net::NodeId miner = 0; miner < topology.size();
+       miner += std::max<std::size_t>(1, topology.size() / 16)) {
+    const sim::BroadcastResult legacy =
+        sim::simulate_broadcast(topology, network, miner);
+    sim::simulate_broadcast(csr, miner, scratch, fast);
+    EXPECT_EQ(fast.miner, legacy.miner);
+    EXPECT_TRUE(bytes_equal(fast.arrival, legacy.arrival)) << "miner " << miner;
+    EXPECT_TRUE(bytes_equal(fast.ready, legacy.ready)) << "miner " << miner;
+  }
+}
+
+TEST(CsrParity, RandomTopologiesAcrossSeeds) {
+  sim::BroadcastScratch scratch;  // deliberately shared across all cases
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    net::NetworkOptions options;
+    options.n = 120 + 30 * seed;
+    options.seed = seed;
+    const auto network = net::Network::build(options);
+    net::Topology topology(options.n);
+    util::Rng rng(seed);
+    topo::build_random(topology, rng);
+    expect_parity(topology, network, scratch);
+  }
+}
+
+TEST(CsrParity, InfraOverrideLinks) {
+  net::NetworkOptions options;
+  options.n = 150;
+  options.seed = 9;
+  const auto network = net::Network::build(options);
+  net::Topology topology(options.n);
+  util::Rng rng(9);
+  topo::build_random(topology, rng);
+  // A fast star overlay: infra links with sub-propagation latency must win
+  // identically in both engines.
+  for (net::NodeId v = 10; v < 60; v += 7) {
+    ASSERT_TRUE(topology.add_infra_edge(0, v, 0.5));
+  }
+  sim::BroadcastScratch scratch;
+  expect_parity(topology, network, scratch);
+}
+
+TEST(CsrParity, UnreachableNodesStayInfinite) {
+  net::NetworkOptions options;
+  options.n = 100;
+  options.seed = 11;
+  const auto network = net::Network::build(options);
+  net::Topology topology(options.n);
+  util::Rng rng(11);
+  topo::build_random(topology, rng);
+  // Isolate a handful of nodes entirely.
+  for (net::NodeId v = 90; v < 100; ++v) topology.disconnect_all(v);
+
+  const net::CsrTopology csr = net::CsrTopology::build(topology, network);
+  const auto legacy = sim::simulate_broadcast(topology, network, 0);
+  const auto fast = sim::simulate_broadcast(csr, 0);
+  EXPECT_TRUE(bytes_equal(fast.arrival, legacy.arrival));
+  EXPECT_TRUE(bytes_equal(fast.ready, legacy.ready));
+  for (net::NodeId v = 90; v < 100; ++v) {
+    EXPECT_TRUE(std::isinf(fast.arrival[v]));
+    EXPECT_TRUE(std::isinf(fast.ready[v]));
+  }
+  // Broadcasting *from* an isolated node: everyone else unreachable.
+  const auto legacy95 = sim::simulate_broadcast(topology, network, 95);
+  const auto fast95 = sim::simulate_broadcast(csr, 95);
+  EXPECT_TRUE(bytes_equal(fast95.arrival, legacy95.arrival));
+  EXPECT_DOUBLE_EQ(fast95.arrival[95], 0.0);
+  EXPECT_TRUE(std::isinf(fast95.arrival[0]));
+}
+
+TEST(CsrParity, WithholdingNodesMatchOracle) {
+  net::NetworkOptions options;
+  options.n = 130;
+  options.seed = 13;
+  auto network = net::Network::build(options);
+  for (net::NodeId v = 0; v < 130; v += 9) {
+    network.mutable_profiles()[v].forwards = false;
+  }
+  net::Topology topology(options.n);
+  util::Rng rng(13);
+  topo::build_random(topology, rng);
+  sim::BroadcastScratch scratch;
+  expect_parity(topology, network, scratch);
+}
+
+TEST(CsrParity, ObservationRecordingMatchesLegacyPath) {
+  net::NetworkOptions options;
+  options.n = 90;
+  options.seed = 17;
+  const auto network = net::Network::build(options);
+  net::Topology topology(options.n);
+  util::Rng rng(17);
+  topo::build_random(topology, rng);
+  const net::CsrTopology csr = net::CsrTopology::build(topology, network);
+
+  sim::ObservationTable legacy_obs, csr_obs;
+  legacy_obs.begin_round(topology, 3);
+  csr_obs.begin_round(topology, 3);
+  sim::BroadcastScratch scratch;
+  sim::BroadcastResult result;
+  for (net::NodeId miner : {net::NodeId{3}, net::NodeId{40}, net::NodeId{77}}) {
+    sim::simulate_broadcast(csr, miner, scratch, result);
+    legacy_obs.record_block(topology, network, result);
+    csr_obs.record_block(csr, result);
+  }
+  for (net::NodeId v = 0; v < topology.size(); ++v) {
+    ASSERT_EQ(csr_obs.neighbor_count(v), legacy_obs.neighbor_count(v));
+    for (std::size_t i = 0; i < csr_obs.neighbor_count(v); ++i) {
+      const auto a = csr_obs.rel_times(v, i);
+      const auto b = legacy_obs.rel_times(v, i);
+      ASSERT_EQ(a.size(), b.size());
+      for (std::size_t k = 0; k < a.size(); ++k) {
+        EXPECT_TRUE(std::memcmp(&a[k], &b[k], sizeof(double)) == 0)
+            << "node " << v << " neighbor " << i << " block " << k;
+      }
+    }
+  }
+}
+
+// First-principles check of the compile itself: every CSR entry must equal
+// the delay the reference helpers resolve through the Topology/Network pair.
+// This is what keeps the gossip delegation test below meaningful — the
+// event loop runs on arrays this test pins to the ground truth.
+TEST(CsrParity, CompiledDelaysMatchNetworkResolution) {
+  net::NetworkOptions options;
+  options.n = 100;
+  options.seed = 31;
+  // Exercise the transmission term too, so edge_delay != handshake * link.
+  options.block_size_kb = 200.0;
+  options.heterogeneous_bandwidth = true;
+  const auto network = net::Network::build(options);
+  net::Topology topology(options.n);
+  util::Rng rng(31);
+  topo::build_random(topology, rng);
+  topology.add_infra_edge(2, 50, 0.75);
+
+  const net::CsrTopology csr = net::CsrTopology::build(topology, network);
+  EXPECT_EQ(csr.size(), topology.size());
+  for (net::NodeId v = 0; v < topology.size(); ++v) {
+    const auto& adj = topology.adjacency(v);
+    const auto peers = csr.peers(v);
+    const auto delays = csr.delays(v);
+    const auto controls = csr.control_delays(v);
+    ASSERT_EQ(peers.size(), adj.size());
+    for (std::size_t i = 0; i < adj.size(); ++i) {
+      EXPECT_EQ(peers[i], adj[i].peer);
+      // Block delay: exactly what the broadcast oracle resolves per link.
+      const double want_block = sim::link_delay_ms(adj[i], v, network);
+      EXPECT_TRUE(std::memcmp(&delays[i], &want_block, sizeof(double)) == 0)
+          << "node " << v << " link " << i;
+      // Control delay: infra override or pure propagation latency.
+      const auto infra = topology.infra_latency(v, adj[i].peer);
+      const double want_control =
+          infra ? *infra : network.link_ms(v, adj[i].peer);
+      EXPECT_TRUE(std::memcmp(&controls[i], &want_control, sizeof(double)) ==
+                  0)
+          << "node " << v << " link " << i;
+    }
+    EXPECT_EQ(csr.forwards(v), network.profile(v).forwards);
+    EXPECT_DOUBLE_EQ(csr.validation_ms(v), network.validation_ms(v));
+  }
+}
+
+// Mid-run profile mutation with a never-rewiring selector: the round loop's
+// cache must pick up a node turning withholding even though the topology
+// version never moves (the eclipse_attack example's flip).
+TEST(CsrParity, RoundRunnerSeesMidRunForwardsFlip) {
+  net::NetworkOptions options;
+  options.n = 50;
+  options.seed = 37;
+  auto network = net::Network::build(options);
+  net::Topology topology(options.n);
+  util::Rng rng(37);
+  topo::build_random(topology, rng);
+
+  std::vector<std::unique_ptr<sim::NeighborSelector>> selectors;
+  for (std::size_t i = 0; i < topology.size(); ++i) {
+    selectors.push_back(std::make_unique<sim::StaticSelector>());
+  }
+  sim::RoundRunner runner(network, topology, std::move(selectors), 4, 37);
+  sim::BroadcastResult last;
+  runner.set_block_hook([&](const sim::BroadcastResult& r) { last = r; });
+
+  runner.run_round();
+  const std::uint64_t version_before = topology.version();
+
+  // Flip a hub to withholding between rounds; StaticSelector never rewires,
+  // so only the profile recheck can trigger the rebuild.
+  net::NodeId hub = 0;
+  for (net::NodeId v = 1; v < topology.size(); ++v) {
+    if (topology.adjacency(v).size() > topology.adjacency(hub).size()) hub = v;
+  }
+  network.mutable_profiles()[hub].forwards = false;
+  runner.run_round();
+  EXPECT_EQ(topology.version(), version_before);
+
+  // Every block of the new round must match the legacy engine, which reads
+  // the live Network: the flipped node received but never relayed.
+  const auto oracle = sim::simulate_broadcast(topology, network, last.miner);
+  ASSERT_EQ(last.arrival.size(), oracle.arrival.size());
+  for (std::size_t v = 0; v < oracle.arrival.size(); ++v) {
+    EXPECT_TRUE(
+        std::memcmp(&last.arrival[v], &oracle.arrival[v], sizeof(double)) == 0)
+        << "node " << v;
+  }
+}
+
+TEST(CsrParity, GossipOverCsrMatchesLegacySignature) {
+  net::NetworkOptions options;
+  options.n = 80;
+  options.seed = 19;
+  const auto network = net::Network::build(options);
+  net::Topology topology(options.n);
+  util::Rng rng(19);
+  topo::build_random(topology, rng);
+  topology.add_infra_edge(1, 70, 0.25);
+  const net::CsrTopology csr = net::CsrTopology::build(topology, network);
+
+  for (auto mode :
+       {sim::GossipConfig::Mode::Push, sim::GossipConfig::Mode::InvGetdata}) {
+    sim::GossipConfig config;
+    config.mode = mode;
+    config.record_edge_times = true;
+    const auto via_topology = sim::simulate_gossip(topology, network, 5,
+                                                   config);
+    const auto via_csr = sim::simulate_gossip(csr, 5, config);
+    EXPECT_TRUE(bytes_equal(via_csr.arrival, via_topology.arrival));
+    EXPECT_TRUE(
+        bytes_equal(via_csr.first_announce, via_topology.first_announce));
+    EXPECT_EQ(via_csr.messages_processed, via_topology.messages_processed);
+    ASSERT_EQ(via_csr.edge_times.size(), via_topology.edge_times.size());
+    for (std::size_t i = 0; i < via_csr.edge_times.size(); ++i) {
+      EXPECT_EQ(via_csr.edge_times[i].to, via_topology.edge_times[i].to);
+      EXPECT_EQ(via_csr.edge_times[i].from, via_topology.edge_times[i].from);
+      EXPECT_TRUE(std::memcmp(&via_csr.edge_times[i].time_ms,
+                              &via_topology.edge_times[i].time_ms,
+                              sizeof(double)) == 0);
+    }
+  }
+}
+
+TEST(CsrParity, CacheRebuildsOnRewireOnly) {
+  net::NetworkOptions options;
+  options.n = 60;
+  options.seed = 23;
+  const auto network = net::Network::build(options);
+  net::Topology topology(options.n);
+  util::Rng rng(23);
+  topo::build_random(topology, rng);
+
+  net::CsrCache cache;
+  const net::CsrTopology* first = &cache.get(topology, network);
+  const std::uint64_t v0 = topology.version();
+  EXPECT_EQ(first->built_from_version(), v0);
+  // No mutation: same snapshot object, no rebuild.
+  EXPECT_EQ(&cache.get(topology, network), first);
+
+  // A rewire bumps the version and forces a rebuild that reflects the new
+  // adjacency.
+  const net::NodeId dialer = 0;
+  ASSERT_FALSE(topology.out(dialer).empty());
+  const net::NodeId old_peer = topology.out(dialer).front();
+  topology.disconnect(dialer, old_peer);
+  EXPECT_GT(topology.version(), v0);
+  const net::CsrTopology& rebuilt = cache.get(topology, network);
+  EXPECT_EQ(rebuilt.built_from_version(), topology.version());
+  for (const net::NodeId peer : rebuilt.peers(dialer)) {
+    EXPECT_NE(peer, old_peer);
+  }
+  // The rebuilt snapshot again tracks the oracle exactly.
+  const auto legacy = sim::simulate_broadcast(topology, network, 7);
+  const auto fast = sim::simulate_broadcast(rebuilt, 7);
+  EXPECT_TRUE(bytes_equal(fast.arrival, legacy.arrival));
+  EXPECT_TRUE(bytes_equal(fast.ready, legacy.ready));
+}
+
+TEST(CsrParity, EvalAllSourcesMatchesPerSourceOracle) {
+  net::NetworkOptions options;
+  options.n = 70;
+  options.seed = 29;
+  const auto network = net::Network::build(options);
+  net::Topology topology(options.n);
+  util::Rng rng(29);
+  topo::build_random(topology, rng);
+
+  const auto batched = metrics::eval_all_sources(topology, network, 0.90);
+  std::vector<double> oracle(network.size());
+  for (net::NodeId v = 0; v < network.size(); ++v) {
+    const auto result = sim::simulate_broadcast(topology, network, v);
+    oracle[v] = metrics::lambda_for_broadcast(result, network, 0.90);
+  }
+  EXPECT_TRUE(bytes_equal(batched, oracle));
+}
+
+}  // namespace
+}  // namespace perigee
