@@ -1,10 +1,12 @@
-// Unified sweep driver: runs any named figure grid (or a custom cartesian
-// grid over algorithm / n / rounds / hash model / validation scale / relay)
+// Unified sweep driver: runs any named figure or scenario grid (or a custom
+// cartesian grid over algorithm / n / rounds / hash model / validation scale
+// / relay / churn rate / heterogeneity profile / withholding fraction)
 // end-to-end on the parallel SweepRunner and writes BENCH_<name>.json.
 //
 //   perigee_sweep --figure fig3a --jobs 8
+//   perigee_sweep --figure churn --seeds 2 --jobs 0
 //   perigee_sweep --algorithms random,perigee-subset,ideal
-//       --nodes 200,400 --seeds 3 --jobs 4 --json grid.json
+//       --nodes 200,400 --churn 0,0.05 --seeds 3 --jobs 4 --json grid.json
 //
 // Results are bit-identical at any --jobs value; see src/runner/sweep.hpp.
 #include <iostream>
@@ -15,6 +17,7 @@
 
 #include "metrics/curves.hpp"
 #include "runner/sweep.hpp"
+#include "scenario/scenario.hpp"
 #include "util/flags.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -108,6 +111,52 @@ runner::SweepSpec fig4c() {
   return spec;
 }
 
+// Scenario grids (src/scenario): the conditions the paper's §6 leaves open,
+// as first-class sweep axes. Sized so `--seeds 2` finishes CI-fast while the
+// regime effects are still visible.
+
+// Node churn: per-round leave/rejoin fractions from none to aggressive.
+// Static baselines live through the same schedule but only rejoiners redial,
+// so the grid shows Perigee's exploration-driven self-healing.
+runner::SweepSpec churn_grid() {
+  runner::SweepSpec spec;
+  spec.name = "churn";
+  spec.base.net.n = 200;
+  spec.base.rounds = 12;
+  spec.algorithms = {core::Algorithm::Random, core::Algorithm::PerigeeSubset,
+                     core::Algorithm::Ideal};
+  spec.churn_rates = {0.0, 0.02, 0.05};
+  return spec;
+}
+
+// Heterogeneous node capabilities (PODS-style tiers): bandwidth-only,
+// validation-only, and the full datacenter mix with concentrated hash power.
+runner::SweepSpec hetero_grid() {
+  runner::SweepSpec spec;
+  spec.name = "hetero";
+  spec.base.net.n = 200;
+  spec.base.rounds = 12;
+  spec.algorithms = {core::Algorithm::Random, core::Algorithm::PerigeeSubset,
+                     core::Algorithm::Ideal};
+  spec.hetero_profiles = {
+      scenario::HeteroProfile::Off, scenario::HeteroProfile::Bandwidth,
+      scenario::HeteroProfile::Validation, scenario::HeteroProfile::Datacenter};
+  return spec;
+}
+
+// Adversarial withholding: sweep the fraction of never-forwarding nodes.
+// Perigee's scoring disconnects them (§1 incentive compatibility); the
+// random baseline keeps relaying into dead ends.
+runner::SweepSpec adversary_grid() {
+  runner::SweepSpec spec;
+  spec.name = "adversary";
+  spec.base.net.n = 200;
+  spec.base.rounds = 12;
+  spec.algorithms = {core::Algorithm::Random, core::Algorithm::PerigeeSubset};
+  spec.withhold_fractions = {0.0, 0.05, 0.10, 0.20};
+  return spec;
+}
+
 // CI-sized smoke grid: every adaptive variant on a small network.
 runner::SweepSpec baseline() {
   runner::SweepSpec spec;
@@ -126,6 +175,9 @@ constexpr Figure kFigures[] = {
     {"fig4a", "validation-delay scale sweep", fig4a},
     {"fig4b", "mining pools with fast pool links", fig4b},
     {"fig4c", "fast relay overlay present", fig4c},
+    {"churn", "node churn rate sweep (scenario)", churn_grid},
+    {"hetero", "heterogeneous capability tiers (scenario)", hetero_grid},
+    {"adversary", "withholding-fraction sweep (scenario)", adversary_grid},
     {"baseline", "CI-sized smoke grid (n=200)", baseline},
 };
 
@@ -143,6 +195,12 @@ int main(int argc, char** argv) {
   flags.add_string("hash", "", "CSV hash-model axis: uniform,exponential,pools");
   flags.add_string("vscales", "", "CSV validation-scale axis");
   flags.add_string("relay", "", "CSV relay axis: on,off");
+  flags.add_string("churn", "", "CSV per-round churn-rate axis, e.g. 0,0.02");
+  flags.add_string("hetero", "",
+                   "CSV heterogeneity axis: off,bandwidth,validation,"
+                   "datacenter");
+  flags.add_string("withhold", "",
+                   "CSV withholding-fraction axis, e.g. 0,0.1,0.2");
   flags.add_int("seeds", 0, "repetitions per cell (0 = keep preset/default)");
   flags.add_int("seed", 1, "base seed");
   flags.add_double("coverage", 0.90, "hash-power coverage for lambda");
@@ -246,6 +304,40 @@ int main(int argc, char** argv) {
         return 1;
       }
       spec.relay.push_back(item == "on");
+    }
+  }
+  if (const auto& csv = flags.get_string("churn"); !csv.empty()) {
+    spec.churn_rates.clear();
+    for (const auto& item : split_csv(csv)) {
+      const auto v = parse_number(item);
+      if (!v || *v < 0 || *v > 1) {
+        std::cerr << "bad --churn value '" << item << "' (want [0, 1])\n";
+        return 1;
+      }
+      spec.churn_rates.push_back(*v);
+    }
+  }
+  if (const auto& csv = flags.get_string("hetero"); !csv.empty()) {
+    spec.hetero_profiles.clear();
+    for (const auto& item : split_csv(csv)) {
+      const auto profile = scenario::hetero_profile_from_name(item);
+      if (!profile) {
+        std::cerr << "unknown hetero profile '" << item
+                  << "' (off, bandwidth, validation, datacenter)\n";
+        return 1;
+      }
+      spec.hetero_profiles.push_back(*profile);
+    }
+  }
+  if (const auto& csv = flags.get_string("withhold"); !csv.empty()) {
+    spec.withhold_fractions.clear();
+    for (const auto& item : split_csv(csv)) {
+      const auto v = parse_number(item);
+      if (!v || *v < 0 || *v >= 1) {
+        std::cerr << "bad --withhold value '" << item << "' (want [0, 1))\n";
+        return 1;
+      }
+      spec.withhold_fractions.push_back(*v);
     }
   }
   if (const auto seeds = static_cast<int>(flags.get_int("seeds")); seeds > 0) {

@@ -13,6 +13,7 @@
 #include "metrics/eval.hpp"
 #include "mining/sampler.hpp"
 #include "net/csr.hpp"
+#include "scenario/driver.hpp"
 #include "sim/gossip.hpp"
 #include "sim/rounds.hpp"
 #include "topo/builders.hpp"
@@ -126,6 +127,32 @@ void BM_RoundWithUcbScoring(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_RoundWithUcbScoring)->Arg(200)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+// The churn-recompile path: every round the ChurnDriver tears down and
+// redials a node fraction through the pre-round hook, so each round pays one
+// CSR recompile (BM_CsrBuild) on top of the K broadcasts. Compare against
+// BM_RoundWithSubsetScoring at the same Arg to see the churn overhead; the
+// compile amortizes over K = 100 blocks exactly as on the rewire path.
+void BM_ChurnRoundRecompile(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Fixture f(n);
+  sim::RoundRunner runner(*f.network, f.topology,
+                          core::make_selectors(n, core::Algorithm::PerigeeSubset),
+                          100, 7);
+  scenario::ChurnRegime regime;
+  regime.rate = 0.02;
+  regime.start_round = 0;
+  scenario::ChurnDriver driver(regime, f.topology, *f.network, 7);
+  runner.set_pre_round_hook([&](std::size_t round) {
+    if (driver.before_round(round)) runner.refresh_hash_power();
+    for (const net::NodeId v : driver.last_rejoined()) runner.reset_selector(v);
+  });
+  for (auto _ : state) {
+    runner.run_round();
+  }
+  state.SetItemsProcessed(state.iterations() * 100);  // blocks
+}
+BENCHMARK(BM_ChurnRoundRecompile)->Arg(200)->Arg(1000)->Unit(benchmark::kMillisecond);
 
 void BM_Percentile(benchmark::State& state) {
   util::Rng rng(3);

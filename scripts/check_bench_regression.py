@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Soft perf gate: compare a fresh micro_bench JSON run against the
+checked-in BENCH_broadcast.json anchor.
+
+The anchored quantity is the CSR/legacy broadcast *speedup ratio*
+(items_per_second of BM_BroadcastCsr/N divided by BM_Broadcast/N), which is
+largely machine-independent — comparing raw ns across CI runners would be
+noise. If the current ratio falls more than --max-regression below the
+anchor's ratio, a GitHub Actions ::warning:: annotation is emitted.
+
+This gate is deliberately soft: it never fails the build (exit code 0 unless
+the inputs are unreadable), because shared CI runners are too noisy for a
+hard perf wall. It exists to make a real fast-path regression loud in the PR
+checks without blocking unrelated work.
+
+Usage:
+  check_bench_regression.py <current_benchmark.json> <BENCH_broadcast.json>
+      [--max-regression 0.25] [--sizes 1000,...]
+"""
+
+import argparse
+import json
+import sys
+
+
+def items_per_second(entries, name):
+    for entry in entries:
+        if entry.get("name") == name:
+            ips = entry.get("items_per_second")
+            if ips:
+                return float(ips)
+    return None
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", help="benchmark --benchmark_format=json output")
+    parser.add_argument("anchor", help="checked-in BENCH_broadcast.json")
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.25,
+        help="warn when the speedup ratio drops by more than this fraction",
+    )
+    parser.add_argument(
+        "--sizes",
+        default="1000",
+        help="comma-separated BM_Broadcast Arg sizes to check (default: the "
+        "fig3a grid size 1000)",
+    )
+    args = parser.parse_args()
+
+    try:
+        with open(args.current) as f:
+            current = json.load(f)
+        with open(args.anchor) as f:
+            anchor = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"::error::perf gate cannot read inputs: {e}")
+        return 1
+
+    current_entries = current.get("benchmarks", [])
+    anchor_speedups = anchor.get("broadcast_speedup", {})
+
+    warned = False
+    checked = 0
+    for size in args.sizes.split(","):
+        size = size.strip()
+        anchor_ratio = anchor_speedups.get(f"n{size}")
+        legacy = items_per_second(current_entries, f"BM_Broadcast/{size}")
+        csr = items_per_second(current_entries, f"BM_BroadcastCsr/{size}")
+        if anchor_ratio is None or legacy is None or csr is None:
+            print(
+                f"::notice::perf gate: n={size} missing from current run or "
+                "anchor; skipped"
+            )
+            continue
+        checked += 1
+        ratio = csr / legacy
+        drop = 1.0 - ratio / anchor_ratio
+        line = (
+            f"BM_BroadcastCsr/{size} speedup ratio {ratio:.3f}x "
+            f"(anchor {anchor_ratio:.3f}x, change {-drop:+.1%})"
+        )
+        if drop > args.max_regression:
+            print(
+                f"::warning title=BM_BroadcastCsr perf regression::{line} "
+                f"— regressed more than {args.max_regression:.0%} vs "
+                "BENCH_broadcast.json; re-anchor or investigate the CSR "
+                "fast path"
+            )
+            warned = True
+        else:
+            print(f"perf gate OK: {line}")
+
+    if checked == 0:
+        print("::notice::perf gate: nothing compared (no overlapping sizes)")
+    # Soft gate: warnings annotate the run but never fail it.
+    del warned
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,11 +7,16 @@
 #include "metrics/eval.hpp"
 #include "net/csr.hpp"
 #include "runner/thread_pool.hpp"
+#include "scenario/driver.hpp"
 #include "sim/rounds.hpp"
 #include "topo/builders.hpp"
 #include "topo/coordinates.hpp"
 #include "util/assert.hpp"
 #include "util/stats.hpp"
+
+// Local `Scenario scenario` variables below shadow the scenario namespace;
+// refer to the scenario layer through this alias.
+namespace scn = perigee::scenario;
 
 namespace perigee::core {
 namespace {
@@ -33,6 +38,7 @@ Checkpoint make_checkpoint(std::size_t blocks_mined,
 Scenario build_scenario(const ExperimentConfig& config) {
   net::NetworkOptions net_options = config.net;
   net_options.seed = config.seed;
+  scn::adjust_network_options(net_options, config.scenario);
   net::Network network = net::Network::build(net_options);
 
   util::Rng master(config.seed);
@@ -42,6 +48,12 @@ Scenario build_scenario(const ExperimentConfig& config) {
   std::vector<net::NodeId> pool_members =
       mining::assign_hash_power(network, config.hash_model, hash_rng,
                                 config.pools);
+
+  // Static scenario regimes overlay the sampled substrate: geo clustering
+  // moves regions, hetero tiers rewrite bandwidth/validation (and, for the
+  // datacenter mix, re-concentrate the hash power just assigned), the
+  // adversary regime flips `forwards` off. Inert specs change nothing.
+  scn::apply_static_regimes(network, config.scenario, config.seed);
 
   if (config.pool_latency_scale != 1.0 && !pool_members.empty()) {
     PERIGEE_ASSERT(config.net.latency == net::NetworkOptions::LatencyKind::Geo);
@@ -102,12 +114,27 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   ExperimentResult result;
   result.algorithm = std::string(algorithm_name(config.algorithm));
 
-  if (is_adaptive(config.algorithm)) {
+  // Static baselines normally skip the round loop (their selectors never
+  // rewire, so rounds would be no-ops) — but under churn the rounds *do*
+  // something: nodes leave and rejoin, so every algorithm must live through
+  // the same schedule. Only the churned nodes themselves redial on rejoin;
+  // static policies do not otherwise repair lost connections.
+  if (is_adaptive(config.algorithm) || config.scenario.churn.enabled()) {
     // UCB is a |B|=1 method: same total block budget, shorter rounds.
     const bool ucb = config.algorithm == Algorithm::PerigeeUcb;
     const int total_rounds =
         ucb ? config.rounds * config.blocks_per_round : config.rounds;
-    const int blocks_per_round = ucb ? 1 : config.blocks_per_round;
+    // Static baselines reach this loop only under churn, and then only the
+    // mutations matter: no selector reads the observations and no block
+    // hook is installed, so simulate one block per round instead of |B|
+    // discarded ones. The final λ depends only on the final topology either
+    // way.
+    const int blocks_per_round =
+        ucb || !is_adaptive(config.algorithm) ? 1 : config.blocks_per_round;
+    // What one round stands for on the blocks_mined checkpoint axis: static
+    // baselines simulate 1 block but represent a full |B| budget, keeping
+    // their convergence curves comparable to adaptive runs.
+    const int budget_per_round = ucb ? 1 : config.blocks_per_round;
 
     sim::RoundRunner runner(
         scenario.network, scenario.topology,
@@ -127,6 +154,26 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
       runner.set_addrman(addrman.get());
     }
 
+    std::unique_ptr<scn::ChurnDriver> churn;
+    if (config.scenario.churn.enabled()) {
+      // UCB spreads one update epoch over blocks_per_round single-block
+      // rounds; the driver lands churn on epoch boundaries so every
+      // algorithm endures the same schedule for the same block budget.
+      const auto rounds_per_epoch =
+          ucb ? static_cast<std::size_t>(config.blocks_per_round) : 1u;
+      churn = std::make_unique<scn::ChurnDriver>(
+          config.scenario.churn, scenario.topology, scenario.network,
+          config.seed, addrman.get(), config.addrman_bootstrap,
+          rounds_per_epoch);
+      runner.set_pre_round_hook([&runner,
+                                 driver = churn.get()](std::size_t round) {
+        if (driver->before_round(round)) runner.refresh_hash_power();
+        for (const net::NodeId v : driver->last_rejoined()) {
+          runner.reset_selector(v);
+        }
+      });
+    }
+
     if (config.checkpoints > 0) {
       result.checkpoints.push_back(make_checkpoint(
           0, scenario.topology, scenario.network, config.coverage));
@@ -143,7 +190,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
       if (config.checkpoints > 0) {
         result.checkpoints.push_back(make_checkpoint(
             static_cast<std::size_t>(done) *
-                static_cast<std::size_t>(blocks_per_round),
+                static_cast<std::size_t>(budget_per_round),
             scenario.topology, scenario.network, config.coverage));
       }
     }
@@ -254,6 +301,18 @@ IncrementalResult run_incremental(const ExperimentConfig& config,
   sim::RoundRunner runner(scenario.network, scenario.topology,
                           std::move(selectors), config.blocks_per_round,
                           config.seed);
+  std::unique_ptr<scn::ChurnDriver> churn;
+  if (config.scenario.churn.enabled()) {
+    churn = std::make_unique<scn::ChurnDriver>(config.scenario.churn,
+                                               scenario.topology,
+                                               scenario.network, config.seed);
+    runner.set_pre_round_hook([&runner, driver = churn.get()](std::size_t r) {
+      if (driver->before_round(r)) runner.refresh_hash_power();
+      for (const net::NodeId v : driver->last_rejoined()) {
+        runner.reset_selector(v);
+      }
+    });
+  }
   runner.run_rounds(config.rounds);
 
   const auto lambda = metrics::eval_all_sources(

@@ -13,6 +13,7 @@
 #include "mining/hashpower.hpp"
 #include "net/network.hpp"
 #include "net/topology.hpp"
+#include "scenario/scenario.hpp"
 #include "topo/relay.hpp"
 
 namespace perigee::core {
@@ -39,6 +40,13 @@ struct ExperimentConfig {
   // Figure 4(c): install the fast relay overlay before the p2p topology.
   bool relay = false;
   topo::RelayConfig relay_config;
+
+  // Declarative scenario regimes (src/scenario): static regimes (hetero
+  // tiers, geo clustering, withholding adversaries) mutate the built network
+  // once; the churn regime runs a seeded join/leave schedule between rounds
+  // via scenario::ChurnDriver. Default-constructed == inert: results are
+  // bit-identical to configs that predate the scenario layer.
+  scenario::ScenarioSpec scenario;
 
   // Partial-view peer discovery (§2.1 addrMan / §6): when enabled, each node
   // knows only a bounded address book — bootstrapped with `addrman_bootstrap`

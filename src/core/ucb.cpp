@@ -49,6 +49,8 @@ UcbSelector::Bounds UcbSelector::bounds_for(net::NodeId neighbor) const {
   return compute_bounds(it->second);
 }
 
+void UcbSelector::on_reset(net::NodeId) { arms_.clear(); }
+
 void UcbSelector::on_round_end(net::NodeId self, sim::RoundContext& ctx) {
   const auto& obs = ctx.obs;
   const auto window = static_cast<std::size_t>(params_.ucb_window);

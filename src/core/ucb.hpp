@@ -28,6 +28,9 @@ class UcbSelector final : public sim::NeighborSelector {
   explicit UcbSelector(PerigeeParams params = {}) : params_(params) {}
 
   void on_round_end(net::NodeId self, sim::RoundContext& ctx) override;
+  // A rejoining node is a fresh participant: all confidence-bound history
+  // refers to connections its predecessor held, so drop every arm.
+  void on_reset(net::NodeId self) override;
   const char* name() const override { return "perigee-ucb"; }
 
   struct Bounds {

@@ -57,15 +57,25 @@ std::vector<net::NodeId> assign_hash_power(net::Network& network,
       for (std::size_t idx : rng.sample_indices(n, k)) {
         pool_members.push_back(static_cast<net::NodeId>(idx));
       }
-      const double in_pool = pools.pool_share / static_cast<double>(k);
-      const double outside =
-          (1.0 - pools.pool_share) / static_cast<double>(n - k);
-      for (auto& p : profiles) p.hash_power = outside;
-      for (net::NodeId v : pool_members) profiles[v].hash_power = in_pool;
+      concentrate_hash_power(network, pool_members, pools.pool_share);
       break;
     }
   }
   return pool_members;
+}
+
+void concentrate_hash_power(net::Network& network,
+                            const std::vector<net::NodeId>& members,
+                            double share) {
+  auto& profiles = network.mutable_profiles();
+  const std::size_t n = profiles.size();
+  const std::size_t k = members.size();
+  PERIGEE_ASSERT(k > 0 && k < n);
+  PERIGEE_ASSERT(share >= 0 && share <= 1);
+  const double inside = share / static_cast<double>(k);
+  const double outside = (1.0 - share) / static_cast<double>(n - k);
+  for (auto& p : profiles) p.hash_power = outside;
+  for (const net::NodeId v : members) profiles[v].hash_power = inside;
 }
 
 double total_hash_power(const net::Network& network) {

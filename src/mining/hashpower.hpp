@@ -36,6 +36,13 @@ std::vector<net::NodeId> assign_hash_power(net::Network& network,
                                            util::Rng& rng,
                                            const PoolsConfig& pools = {});
 
+// Concentrates `share` of the total hash power equally on `members`; every
+// other node splits the remainder equally. Requires 0 < |members| < n.
+// Used by the Pools model and by the scenario layer's datacenter tier.
+void concentrate_hash_power(net::Network& network,
+                            const std::vector<net::NodeId>& members,
+                            double share);
+
 // Total hash power across nodes (should be ~1 after assignment).
 double total_hash_power(const net::Network& network);
 

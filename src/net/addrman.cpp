@@ -21,6 +21,20 @@ void AddrMan::bootstrap(util::Rng& rng, std::size_t count) {
   }
 }
 
+void AddrMan::rebootstrap(NodeId v, util::Rng& rng, std::size_t count) {
+  PERIGEE_ASSERT(v < books_.size());
+  PERIGEE_ASSERT(count <= capacity_);
+  books_[v].clear();
+  const std::size_t n = books_.size();
+  // Fill to exactly `count` distinct addresses (self/duplicate draws retry,
+  // attempt-capped so a tiny network cannot loop forever).
+  const std::size_t want = std::min(count, n - 1);
+  for (std::size_t attempts = 0;
+       books_[v].size() < want && attempts < 64 * want; ++attempts) {
+    learn(v, static_cast<NodeId>(rng.uniform_index(n)), rng);
+  }
+}
+
 void AddrMan::add_neighbors_of(const Topology& topology) {
   PERIGEE_ASSERT(topology.size() == books_.size());
   // Neighbor addresses are always worth knowing; use a throwaway generator

@@ -35,6 +35,10 @@ class AddrMan {
   /// Seeds every node's book with `count` random addresses (bootstrap-server
   /// behaviour).
   void bootstrap(util::Rng& rng, std::size_t count);
+  /// Empties v's book and reseeds it with `count` random addresses: a node
+  /// rejoining after churn has lost its local database and contacts the
+  /// bootstrap server afresh (§6's limited-view churn discussion).
+  void rebootstrap(NodeId v, util::Rng& rng, std::size_t count);
   /// Adds each node's current topology neighbors to its book.
   void add_neighbors_of(const Topology& topology);
 

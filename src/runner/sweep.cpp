@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <fstream>
+#include <functional>
 #include <string>
 #include <utility>
 
@@ -12,13 +13,37 @@
 namespace perigee::runner {
 namespace {
 
-template <typename T>
-std::vector<T> axis_or(const std::vector<T>& axis, const T& base) {
-  if (!axis.empty()) return axis;
-  return {base};
+// One value of one expansion axis: how to stamp it into a cell config, and
+// its label fragment ("" when the axis is not swept).
+struct AxisOption {
+  std::function<void(core::ExperimentConfig&)> apply;
+  std::string label;
+};
+using Axis = std::vector<AxisOption>;
+
+// Builds one axis: the swept values (each labeled), or the unswept base
+// value with no label. Adding a sweep axis is one make_axis call in
+// expand_grid plus the SweepSpec field — nothing else.
+template <typename T, typename Setter, typename Labeler>
+Axis make_axis(const std::vector<T>& swept, const T& base, Setter set,
+               Labeler label) {
+  Axis axis;
+  if (swept.empty()) {
+    axis.push_back({[set, base](core::ExperimentConfig& c) { set(c, base); },
+                    std::string()});
+    return axis;
+  }
+  axis.reserve(swept.size());
+  for (const T& value : swept) {
+    axis.push_back(
+        {[set, value](core::ExperimentConfig& c) { set(c, value); },
+         label(value)});
+  }
+  return axis;
 }
 
 void append_label(std::string& label, std::string_view part) {
+  if (part.empty()) return;
   if (!label.empty()) label += ' ';
   label += part;
 }
@@ -26,64 +51,89 @@ void append_label(std::string& label, std::string_view part) {
 }  // namespace
 
 std::vector<SweepCell> expand_grid(const SweepSpec& spec) {
-  const auto algorithms = axis_or(spec.algorithms, spec.base.algorithm);
-  const auto nodes = axis_or(spec.nodes, spec.base.net.n);
-  const auto rounds = axis_or(spec.rounds, spec.base.rounds);
-  const auto hash_models = axis_or(spec.hash_models, spec.base.hash_model);
-  const auto validation_scales =
-      axis_or(spec.validation_scales, spec.base.net.validation_scale);
-  const auto relay = axis_or(spec.relay, spec.base.relay);
+  // Axis declaration order == expansion nesting order (outermost first) ==
+  // label order. Every axis is either swept (labeled values) or pinned to
+  // the base config's value (single unlabeled option).
+  const std::vector<Axis> axes = {
+      make_axis(
+          spec.algorithms, spec.base.algorithm,
+          [](core::ExperimentConfig& c, core::Algorithm v) {
+            c.algorithm = v;
+          },
+          [](core::Algorithm v) {
+            return "algorithm=" + std::string(core::algorithm_name(v));
+          }),
+      make_axis(
+          spec.nodes, spec.base.net.n,
+          [](core::ExperimentConfig& c, std::size_t v) { c.net.n = v; },
+          [](std::size_t v) { return "n=" + std::to_string(v); }),
+      make_axis(
+          spec.rounds, spec.base.rounds,
+          [](core::ExperimentConfig& c, int v) { c.rounds = v; },
+          [](int v) { return "rounds=" + std::to_string(v); }),
+      make_axis(
+          spec.hash_models, spec.base.hash_model,
+          [](core::ExperimentConfig& c, mining::HashPowerModel v) {
+            c.hash_model = v;
+          },
+          [](mining::HashPowerModel v) {
+            return "hash=" + std::string(mining::hash_model_name(v));
+          }),
+      make_axis(
+          spec.validation_scales, spec.base.net.validation_scale,
+          [](core::ExperimentConfig& c, double v) {
+            c.net.validation_scale = v;
+          },
+          [](double v) { return "vscale=" + format_double(v); }),
+      make_axis(
+          spec.relay, spec.base.relay,
+          [](core::ExperimentConfig& c, bool v) { c.relay = v; },
+          [](bool v) { return std::string("relay=") + (v ? "on" : "off"); }),
+      make_axis(
+          spec.churn_rates, spec.base.scenario.churn.rate,
+          [](core::ExperimentConfig& c, double v) {
+            c.scenario.churn.rate = v;
+          },
+          [](double v) { return "churn=" + format_double(v); }),
+      make_axis(
+          spec.hetero_profiles, spec.base.scenario.hetero.profile,
+          [](core::ExperimentConfig& c, scenario::HeteroProfile v) {
+            c.scenario.hetero.profile = v;
+          },
+          [](scenario::HeteroProfile v) {
+            return "hetero=" + std::string(scenario::hetero_profile_name(v));
+          }),
+      make_axis(
+          spec.withhold_fractions,
+          spec.base.scenario.adversary.withhold_fraction,
+          [](core::ExperimentConfig& c, double v) {
+            c.scenario.adversary.withhold_fraction = v;
+          },
+          [](double v) { return "withhold=" + format_double(v); }),
+  };
 
+  std::size_t total = 1;
+  for (const Axis& axis : axes) total *= axis.size();
+
+  // Mixed-radix decode of the cell index, first axis most significant —
+  // exactly the order nested loops would visit.
   std::vector<SweepCell> cells;
-  cells.reserve(algorithms.size() * nodes.size() * rounds.size() *
-                hash_models.size() * validation_scales.size() * relay.size());
-  for (const auto algorithm : algorithms) {
-    for (const auto n : nodes) {
-      for (const auto r : rounds) {
-        for (const auto hash : hash_models) {
-          for (const auto vscale : validation_scales) {
-            for (const bool rl : relay) {
-              SweepCell cell;
-              cell.index = cells.size();
-              cell.config = spec.base;
-              cell.config.algorithm = algorithm;
-              cell.config.net.n = n;
-              cell.config.rounds = r;
-              cell.config.hash_model = hash;
-              cell.config.net.validation_scale = vscale;
-              cell.config.relay = rl;
-              // Label only the axes that are actually swept.
-              if (!spec.algorithms.empty()) {
-                append_label(cell.label, std::string("algorithm=") +
-                                             std::string(core::algorithm_name(
-                                                 algorithm)));
-              }
-              if (!spec.nodes.empty()) {
-                append_label(cell.label, "n=" + std::to_string(n));
-              }
-              if (!spec.rounds.empty()) {
-                append_label(cell.label, "rounds=" + std::to_string(r));
-              }
-              if (!spec.hash_models.empty()) {
-                append_label(cell.label,
-                             std::string("hash=") +
-                                 std::string(mining::hash_model_name(hash)));
-              }
-              if (!spec.validation_scales.empty()) {
-                append_label(cell.label,
-                             "vscale=" + format_double(vscale));
-              }
-              if (!spec.relay.empty()) {
-                append_label(cell.label,
-                             std::string("relay=") + (rl ? "on" : "off"));
-              }
-              if (cell.label.empty()) cell.label = "base";
-              cells.push_back(std::move(cell));
-            }
-          }
-        }
-      }
+  cells.reserve(total);
+  for (std::size_t i = 0; i < total; ++i) {
+    SweepCell cell;
+    cell.index = i;
+    cell.config = spec.base;
+    std::size_t radix = total;
+    std::size_t rest = i;
+    for (const Axis& axis : axes) {
+      radix /= axis.size();
+      const AxisOption& option = axis[rest / radix];
+      rest %= radix;
+      option.apply(cell.config);
+      append_label(cell.label, option.label);
     }
+    if (cell.label.empty()) cell.label = "base";
+    cells.push_back(std::move(cell));
   }
   return cells;
 }
@@ -177,6 +227,10 @@ void write_json(std::ostream& os, const SweepSpec& spec,
     w.field("hash_model", mining::hash_model_name(config.hash_model));
     w.field("validation_scale", config.net.validation_scale);
     w.field("relay", config.relay);
+    w.field("churn", config.scenario.churn.rate);
+    w.field("hetero",
+            scenario::hetero_profile_name(config.scenario.hetero.profile));
+    w.field("withhold", config.scenario.adversary.withhold_fraction);
     w.key("curve");
     write_curve(w, cr.curve);
     w.key("curve50");

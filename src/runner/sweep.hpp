@@ -1,7 +1,8 @@
 // Declarative experiment grids over ExperimentConfig, executed in parallel.
 //
 // A SweepSpec names the axes to sweep (algorithm, n, rounds, hash model,
-// validation scale, relay, seeds); expand_grid() turns it into the cartesian
+// validation scale, relay, and the scenario axes: churn rate, heterogeneity
+// profile, withholding fraction); expand_grid() turns it into the cartesian
 // list of cells in a fixed nesting order, and SweepRunner executes every
 // (cell, seed) pair as an independent job on a work-stealing ThreadPool.
 // Each job derives its seed as base seed + seed index and writes into a
@@ -16,6 +17,7 @@
 
 #include "core/experiment.hpp"
 #include "metrics/curves.hpp"
+#include "scenario/scenario.hpp"
 
 namespace perigee::runner {
 
@@ -36,6 +38,14 @@ struct SweepSpec {
   std::vector<mining::HashPowerModel> hash_models;
   std::vector<double> validation_scales;
   std::vector<bool> relay;
+
+  // Scenario axes (src/scenario): each value overwrites the corresponding
+  // field of base.scenario. Churn rates are per-round node fractions;
+  // withhold fractions mark that share of nodes as never-forwarding
+  // adversaries; hetero profiles select a named two-tier capability mix.
+  std::vector<double> churn_rates;
+  std::vector<scenario::HeteroProfile> hetero_profiles;
+  std::vector<double> withhold_fractions;
 
   // Independent repetitions per cell (aggregated into mean/stddev curves).
   int seeds = 1;

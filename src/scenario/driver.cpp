@@ -1,0 +1,106 @@
+#include "scenario/driver.hpp"
+
+#include "topo/builders.hpp"
+#include "util/assert.hpp"
+
+namespace perigee::scenario {
+
+namespace {
+// Dedicated stream tag for the churn schedule (cf. the core experiment's
+// 0x4A5 / 0x7090 / 0xB007 streams).
+constexpr std::uint64_t kChurnStream = 0xC4E2;
+}  // namespace
+
+ChurnDriver::ChurnDriver(const ChurnRegime& regime, net::Topology& topology,
+                         net::Network& network, std::uint64_t seed,
+                         net::AddrMan* addrman, std::size_t addrman_bootstrap,
+                         std::size_t rounds_per_epoch)
+    : regime_(regime),
+      topology_(&topology),
+      network_(&network),
+      addrman_(addrman),
+      addrman_bootstrap_(addrman_bootstrap),
+      rounds_per_epoch_(rounds_per_epoch),
+      rng_(util::Rng(seed).split(kChurnStream)),
+      down_until_(topology.size(), -1),
+      stashed_hash_(topology.size(), 0.0) {
+  PERIGEE_ASSERT(topology.size() == network.size());
+  PERIGEE_ASSERT(regime_.rate >= 0.0 && regime_.rate <= 1.0);
+  PERIGEE_ASSERT(regime_.downtime_rounds >= 0);
+  PERIGEE_ASSERT(rounds_per_epoch_ >= 1);
+}
+
+void ChurnDriver::rejoin(net::NodeId v) {
+  // A rejoining node is a brand-new participant at the same address: fresh
+  // random outgoing dials and a fresh bootstrap-server address book.
+  topo::dial_random_peers(*topology_, v, topology_->limits().out_cap, rng_);
+  if (addrman_ != nullptr) {
+    addrman_->rebootstrap(v, rng_, addrman_bootstrap_);
+  }
+  last_rejoined_.push_back(v);
+}
+
+std::size_t ChurnDriver::currently_down() const {
+  std::size_t count = 0;
+  for (const auto until : down_until_) count += until >= 0 ? 1 : 0;
+  return count;
+}
+
+bool ChurnDriver::before_round(std::size_t round_index) {
+  last_rejoined_.clear();
+  bool hash_changed = false;
+  // The schedule (rejoins, departures) lands only on epoch boundaries, but
+  // the dead-IP sweep below runs every round: UCB's selectors rewire after
+  // every single-block round and a dark node must never relay.
+  const bool epoch_boundary = round_index % rounds_per_epoch_ == 0;
+  const auto epoch =
+      static_cast<std::int64_t>(round_index / rounds_per_epoch_);
+  auto& profiles = network_->mutable_profiles();
+  const std::size_t n = topology_->size();
+
+  // 1. Downtime elapsed: restore hash power and rejoin.
+  if (epoch_boundary) {
+    for (net::NodeId v = 0; v < n; ++v) {
+      if (down_until_[v] < 0 || down_until_[v] > epoch) continue;
+      profiles[v].hash_power = stashed_hash_[v];
+      stashed_hash_[v] = 0.0;
+      down_until_[v] = -1;
+      hash_changed = true;
+      rejoin(v);
+    }
+  }
+
+  // 2. Still dark: exploration may have dialed the dead address since last
+  // round; those connections fail. Guard on adjacency so an untouched dark
+  // node does not bump the topology version (no spurious CSR recompile).
+  for (net::NodeId v = 0; v < n; ++v) {
+    if (down_until_[v] >= 0 && !topology_->adjacency(v).empty()) {
+      topology_->disconnect_all(v);
+    }
+  }
+
+  // 3. Scheduled departures.
+  if (!epoch_boundary || !regime_.enabled() ||
+      epoch < static_cast<std::int64_t>(regime_.start_round)) {
+    return hash_changed;
+  }
+  const auto k =
+      static_cast<std::size_t>(regime_.rate * static_cast<double>(n));
+  for (std::size_t idx : rng_.sample_indices(n, k)) {
+    const auto v = static_cast<net::NodeId>(idx);
+    if (down_until_[v] >= 0) continue;  // already dark; nothing to tear down
+    topology_->disconnect_all(v);
+    ++departures_;
+    if (regime_.downtime_rounds == 0) {
+      rejoin(v);  // reset churn: leave + instant rejoin as a fresh node
+    } else {
+      stashed_hash_[v] = profiles[v].hash_power;
+      profiles[v].hash_power = 0.0;
+      down_until_[v] = epoch + regime_.downtime_rounds;
+      hash_changed = true;
+    }
+  }
+  return hash_changed;
+}
+
+}  // namespace perigee::scenario

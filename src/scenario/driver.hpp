@@ -1,0 +1,86 @@
+/// \file
+/// \brief ChurnDriver: executes a `ChurnRegime`'s seeded join/leave schedule
+/// between rounds.
+///
+/// The driver is wired into `sim::RoundRunner` through its pre-round hook:
+/// every topology mutation it makes bumps `net::Topology::version()`, so the
+/// runner's `net::CsrCache` recompiles the flat-graph snapshot exactly when
+/// the graph actually changed — churn-free rounds still reuse the cached
+/// snapshot. All randomness comes from one `util::Rng::split` stream of the
+/// experiment seed, preserving the sweep runner's `--jobs` determinism.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/addrman.hpp"
+#include "net/network.hpp"
+#include "net/topology.hpp"
+#include "scenario/scenario.hpp"
+#include "util/rng.hpp"
+
+namespace perigee::scenario {
+
+/// Applies a churn schedule to a live (topology, network) pair.
+///
+/// Per round, in order: (1) nodes whose downtime elapsed rejoin — hash power
+/// restored, `out_cap` fresh random dials, address book re-bootstrapped;
+/// (2) nodes still dark get connections dialed at them since last round torn
+/// down again (their IP is dead); (3) up to a seeded `rate` fraction of
+/// nodes leaves (dark nodes sampled again by the schedule are skipped) —
+/// every p2p edge torn down, then either an instant rejoin
+/// (`downtime_rounds == 0`, the "reset churn" model) or `downtime_rounds`
+/// dark rounds with hash power stashed away.
+class ChurnDriver {
+ public:
+  /// Topology, network, and (optional) addrman are borrowed and must outlive
+  /// the driver. `addrman_bootstrap` is the book size handed to a rejoining
+  /// node (ignored without an addrman). `rounds_per_epoch` maps runner
+  /// rounds onto schedule epochs: the regime's rate / start_round /
+  /// downtime_rounds are all in *epoch* units, and churn lands only on
+  /// epoch boundaries. UCB runs rounds * blocks_per_round single-block
+  /// rounds for the same block budget, so the experiment harness passes
+  /// blocks_per_round there — every algorithm in a grid endures the same
+  /// number of churn events at the same rate.
+  ChurnDriver(const ChurnRegime& regime, net::Topology& topology,
+              net::Network& network, std::uint64_t seed,
+              net::AddrMan* addrman = nullptr,
+              std::size_t addrman_bootstrap = 0,
+              std::size_t rounds_per_epoch = 1);
+
+  /// Applies the schedule for `round_index` (0-based, the round about to
+  /// run). Returns true when hash power changed — the caller must then
+  /// rebuild its miner sampler (`sim::RoundRunner::refresh_hash_power`).
+  bool before_round(std::size_t round_index);
+
+  /// Nodes that (re)joined in the last before_round call; the round loop
+  /// resets their selector state (a rejoining node is a fresh node).
+  const std::vector<net::NodeId>& last_rejoined() const {
+    return last_rejoined_;
+  }
+
+  /// Total departures executed so far.
+  std::size_t departures() const { return departures_; }
+  /// Nodes currently dark (downtime_rounds > 0 schedules only).
+  std::size_t currently_down() const;
+  /// True when node v is currently dark.
+  bool is_down(net::NodeId v) const { return down_until_[v] >= 0; }
+
+ private:
+  void rejoin(net::NodeId v);
+
+  ChurnRegime regime_;
+  net::Topology* topology_;
+  net::Network* network_;
+  net::AddrMan* addrman_;
+  std::size_t addrman_bootstrap_;
+  std::size_t rounds_per_epoch_;
+  util::Rng rng_;
+  // Rejoin epoch per node; < 0 means live.
+  std::vector<std::int64_t> down_until_;
+  std::vector<double> stashed_hash_;
+  std::vector<net::NodeId> last_rejoined_;
+  std::size_t departures_ = 0;
+};
+
+}  // namespace perigee::scenario

@@ -1,0 +1,139 @@
+#include "scenario/scenario.hpp"
+
+#include <vector>
+
+#include "mining/hashpower.hpp"
+#include "util/assert.hpp"
+
+namespace perigee::scenario {
+namespace {
+
+// Disjoint Rng::split streams, one per regime, so composing regimes never
+// perturbs each other's draws (same discipline as core::build_scenario).
+constexpr std::uint64_t kGeoStream = 0x5CE0;
+constexpr std::uint64_t kHeteroStream = 0x5CE1;
+constexpr std::uint64_t kAdversaryStream = 0x5CE2;
+
+std::size_t fraction_count(double fraction, std::size_t n) {
+  PERIGEE_ASSERT(fraction >= 0.0 && fraction <= 1.0);
+  return static_cast<std::size_t>(fraction * static_cast<double>(n));
+}
+
+void apply_geo(net::Network& network, const GeoClusterRegime& regime,
+               util::Rng& rng) {
+  auto& profiles = network.mutable_profiles();
+  const std::size_t n = profiles.size();
+  const std::size_t k = fraction_count(regime.concentration, n);
+  // GeoLatencyModel reads regions per call, so moving nodes changes link_ms
+  // live — no rebuild. (Invalidate any CSR snapshot compiled before this.)
+  for (std::size_t idx : rng.sample_indices(n, k)) {
+    profiles[idx].region = regime.hub;
+  }
+}
+
+void apply_hetero(net::Network& network, const HeteroRegime& regime,
+                  util::Rng& rng) {
+  auto& profiles = network.mutable_profiles();
+  const std::size_t n = profiles.size();
+  const std::size_t k = fraction_count(regime.fast_fraction, n);
+  std::vector<bool> fast(n, false);
+  for (std::size_t idx : rng.sample_indices(n, k)) fast[idx] = true;
+
+  for (std::size_t v = 0; v < n; ++v) {
+    if (regime.tiers_bandwidth()) {
+      profiles[v].bandwidth_mbps =
+          fast[v] ? regime.fast_bandwidth_mbps : regime.slow_bandwidth_mbps;
+    }
+    if (regime.tiers_validation()) {
+      profiles[v].validation_ms *= fast[v] ? regime.fast_validation_scale
+                                           : regime.slow_validation_scale;
+    }
+  }
+
+  if (regime.profile == HeteroProfile::Datacenter && k > 0 && k < n) {
+    // Pools-style concentration: the fast tier shares `fast_hash_share`
+    // equally; the slow tier splits the remainder.
+    std::vector<net::NodeId> members;
+    members.reserve(k);
+    for (std::size_t v = 0; v < n; ++v) {
+      if (fast[v]) members.push_back(static_cast<net::NodeId>(v));
+    }
+    mining::concentrate_hash_power(network, members, regime.fast_hash_share);
+  }
+}
+
+void apply_adversary(net::Network& network, const AdversaryRegime& regime,
+                     util::Rng& rng) {
+  auto& profiles = network.mutable_profiles();
+  const std::size_t n = profiles.size();
+  const std::size_t k = fraction_count(regime.withhold_fraction, n);
+  std::vector<bool> withholds(n, false);
+  for (std::size_t idx : rng.sample_indices(n, k)) withholds[idx] = true;
+
+  for (std::size_t v = 0; v < n; ++v) {
+    if (!withholds[v]) continue;
+    profiles[v].forwards = false;
+    if (regime.zero_hash) profiles[v].hash_power = 0.0;
+  }
+  if (regime.zero_hash && k > 0 && k < n) {
+    // Keep total hash power at 1 so λ's coverage thresholds stay comparable
+    // across withholding fractions.
+    double honest_total = 0.0;
+    for (const auto& p : profiles) honest_total += p.hash_power;
+    PERIGEE_ASSERT(honest_total > 0.0);
+    for (auto& p : profiles) p.hash_power /= honest_total;
+  }
+}
+
+}  // namespace
+
+std::string_view hetero_profile_name(HeteroProfile profile) {
+  switch (profile) {
+    case HeteroProfile::Off:
+      return "off";
+    case HeteroProfile::Bandwidth:
+      return "bandwidth";
+    case HeteroProfile::Validation:
+      return "validation";
+    case HeteroProfile::Datacenter:
+      return "datacenter";
+  }
+  return "unknown";
+}
+
+std::optional<HeteroProfile> hetero_profile_from_name(std::string_view name) {
+  for (const auto profile :
+       {HeteroProfile::Off, HeteroProfile::Bandwidth, HeteroProfile::Validation,
+        HeteroProfile::Datacenter}) {
+    if (hetero_profile_name(profile) == name) return profile;
+  }
+  return std::nullopt;
+}
+
+void adjust_network_options(net::NetworkOptions& options,
+                            const ScenarioSpec& spec) {
+  if (spec.hetero.enabled() && spec.hetero.tiers_bandwidth() &&
+      options.block_size_kb == 0.0) {
+    options.block_size_kb = spec.hetero.block_size_kb;
+  }
+}
+
+void apply_static_regimes(net::Network& network, const ScenarioSpec& spec,
+                          std::uint64_t seed) {
+  if (!spec.has_static()) return;
+  const util::Rng master(seed);
+  if (spec.geo.enabled()) {
+    util::Rng rng = master.split(kGeoStream);
+    apply_geo(network, spec.geo, rng);
+  }
+  if (spec.hetero.enabled()) {
+    util::Rng rng = master.split(kHeteroStream);
+    apply_hetero(network, spec.hetero, rng);
+  }
+  if (spec.adversary.enabled()) {
+    util::Rng rng = master.split(kAdversaryStream);
+    apply_adversary(network, spec.adversary, rng);
+  }
+}
+
+}  // namespace perigee::scenario

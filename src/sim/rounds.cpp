@@ -31,6 +31,9 @@ void RoundRunner::refresh_hash_power() {
 }
 
 void RoundRunner::run_round() {
+  // Scenario mutations (churn joins/leaves) land before the observation
+  // capture and the CSR compile, so the whole round sees the mutated graph.
+  if (pre_round_hook_) pre_round_hook_(rounds_run_);
   obs_.begin_round(*topology_, static_cast<std::size_t>(blocks_per_round_));
   // One flat-graph compile for the whole round: the topology only mutates in
   // the update phase below, and the cache skips even this rebuild when no

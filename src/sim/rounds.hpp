@@ -58,6 +58,21 @@ class RoundRunner {
   /// Rebuilds the miner sampler; call after mutating hash power mid-run.
   void refresh_hash_power();
 
+  /// Resets node v's selector state (a churned-out node is replaced by a
+  /// fresh participant with no learned history).
+  void reset_selector(net::NodeId v) { selectors_[v]->on_reset(v); }
+
+  /// Pre-round hook (round index about to run): scenario drivers apply
+  /// scheduled topology/profile mutations here, *before* the round's
+  /// observation capture and CSR compile. Mutations bump
+  /// `net::Topology::version()`, so the round's `CsrCache` lookup recompiles
+  /// exactly when the hook changed the graph.
+  using PreRoundHook = std::function<void(std::size_t round_index)>;
+  /// Installs (or clears) the pre-round hook.
+  void set_pre_round_hook(PreRoundHook hook) {
+    pre_round_hook_ = std::move(hook);
+  }
+
   /// Attaches a peer-discovery service: selectors explore from per-node
   /// address books, and one gossip exchange runs after each round's updates.
   /// The AddrMan is borrowed and must outlive the runner.
@@ -84,6 +99,7 @@ class RoundRunner {
   BroadcastResult block_result_;  // reused output buffer (Fast engine)
   std::size_t rounds_run_ = 0;
   BlockHook block_hook_;
+  PreRoundHook pre_round_hook_;
   net::AddrMan* addrman_ = nullptr;
 };
 

@@ -36,6 +36,11 @@ class NeighborSelector {
   /// (its own outgoing connections only).
   virtual void on_round_end(net::NodeId self, RoundContext& ctx) = 0;
 
+  /// Invoked when node `self` is replaced by a fresh participant (churn
+  /// rejoin): stateful policies must drop any learned per-neighbor history.
+  /// Default: no state, nothing to drop.
+  virtual void on_reset(net::NodeId self) { (void)self; }
+
   /// Short policy name for tables and logs.
   virtual const char* name() const = 0;
 };

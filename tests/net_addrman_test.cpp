@@ -50,6 +50,36 @@ TEST(AddrMan, BootstrapFillsBooks) {
   }
 }
 
+TEST(AddrMan, RebootstrapClearsAndRefillsOneBook) {
+  AddrMan addrman(100, 50);
+  util::Rng rng(3);
+  addrman.bootstrap(rng, 20);
+  // Stuff node 7's book so we can see it was actually dropped.
+  for (NodeId addr = 50; addr < 90; ++addr) addrman.learn(7, addr, rng);
+  ASSERT_EQ(addrman.known_count(7), 50u);
+
+  addrman.rebootstrap(7, rng, 15);
+  // Unlike bootstrap, rebootstrap retries duplicate draws: a rejoining node
+  // gets exactly `count` fresh addresses from the bootstrap server.
+  EXPECT_EQ(addrman.known_count(7), 15u);
+  EXPECT_FALSE(addrman.knows(7, 7));
+  // Other books are untouched.
+  EXPECT_GE(addrman.known_count(8), 12u);
+}
+
+TEST(AddrMan, RebootstrapIsDeterministic) {
+  AddrMan a(50, 30);
+  AddrMan b(50, 30);
+  util::Rng rng_a(9);
+  util::Rng rng_b(9);
+  a.rebootstrap(4, rng_a, 10);
+  b.rebootstrap(4, rng_b, 10);
+  ASSERT_EQ(a.known_count(4), b.known_count(4));
+  for (NodeId addr = 0; addr < 50; ++addr) {
+    EXPECT_EQ(a.knows(4, addr), b.knows(4, addr)) << "addr " << addr;
+  }
+}
+
 TEST(AddrMan, SampleReturnsKnownAddress) {
   AddrMan addrman(20, 10);
   util::Rng rng(4);
