@@ -14,6 +14,7 @@
 #include "mining/sampler.hpp"
 #include "net/csr.hpp"
 #include "scenario/driver.hpp"
+#include "sim/batch.hpp"
 #include "sim/gossip.hpp"
 #include "sim/rounds.hpp"
 #include "topo/builders.hpp"
@@ -76,7 +77,8 @@ void BM_CsrBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_CsrBuild)->Arg(200)->Arg(1000)->Arg(4000);
 
-// Multi-source λ evaluation: n broadcasts batched over one CSR + scratch.
+// Multi-source λ evaluation: n broadcasts batched over one CSR + scratch
+// (includes the compile; the pair below isolates the engines).
 void BM_EvalAllSources(benchmark::State& state) {
   Fixture f(static_cast<std::size_t>(state.range(0)));
   for (auto _ : state) {
@@ -87,6 +89,73 @@ void BM_EvalAllSources(benchmark::State& state) {
                           static_cast<std::size_t>(state.range(0)));
 }
 BENCHMARK(BM_EvalAllSources)->Arg(200)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+// The before/after pair anchored in BENCH_multi_source.json: per-source CSR
+// loop (one 4-ary-heap Dijkstra + λ accumulation per source, shared compile
+// and scratch — the pre-batch implementation of eval_all_sources) vs the
+// batched multi-source engine at the same workload. The acceptance bar at
+// the fig3a grid size (n=1000) is >= 2x items_per_second.
+void BM_MultiSourcePerSourceCsr(benchmark::State& state) {
+  Fixture f(static_cast<std::size_t>(state.range(0)));
+  const net::CsrTopology csr = net::CsrTopology::build(f.topology, *f.network);
+  sim::BroadcastScratch scratch;
+  sim::BroadcastResult result;
+  std::vector<double> lambda(csr.size());
+  for (auto _ : state) {
+    for (net::NodeId v = 0; v < csr.size(); ++v) {
+      sim::simulate_broadcast(csr, v, scratch, result);
+      lambda[v] = metrics::lambda_for_broadcast(result, *f.network, 0.90);
+    }
+    benchmark::DoNotOptimize(lambda.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::size_t>(state.range(0)));
+}
+BENCHMARK(BM_MultiSourcePerSourceCsr)
+    ->Arg(200)
+    ->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MultiSourceBatched(benchmark::State& state) {
+  Fixture f(static_cast<std::size_t>(state.range(0)));
+  const net::CsrTopology csr = net::CsrTopology::build(f.topology, *f.network);
+  sim::MultiSourceScratch scratch;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        metrics::eval_all_sources(csr, *f.network, 0.90, &scratch));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::size_t>(state.range(0)));
+}
+BENCHMARK(BM_MultiSourceBatched)
+    ->Arg(200)
+    ->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
+
+// Round-shaped batch: |B| = 100 hash-weighted miners through the batched
+// engine with materialized stripes, the RoundRunner dispatch shape.
+void BM_BroadcastBatchRound(benchmark::State& state) {
+  Fixture f(static_cast<std::size_t>(state.range(0)));
+  const net::CsrTopology csr = net::CsrTopology::build(f.topology, *f.network);
+  mining::AliasSampler sampler =
+      mining::AliasSampler::from_hash_power(*f.network);
+  util::Rng rng(11);
+  std::vector<net::NodeId> miners(100);
+  for (auto& m : miners) {
+    m = static_cast<net::NodeId>(sampler.sample(rng));
+  }
+  sim::MultiSourceScratch scratch;
+  sim::MultiSourceResult result;
+  for (auto _ : state) {
+    sim::simulate_broadcast_batch(csr, miners, scratch, result);
+    benchmark::DoNotOptimize(result.arrival.data());
+  }
+  state.SetItemsProcessed(state.iterations() * miners.size());
+}
+BENCHMARK(BM_BroadcastBatchRound)
+    ->Arg(200)
+    ->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_GossipInv(benchmark::State& state) {
   Fixture f(static_cast<std::size_t>(state.range(0)));

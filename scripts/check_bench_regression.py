@@ -1,12 +1,18 @@
 #!/usr/bin/env python3
-"""Soft perf gate: compare a fresh micro_bench JSON run against the
-checked-in BENCH_broadcast.json anchor.
+"""Soft perf gate: compare a fresh micro_bench JSON run against a checked-in
+BENCH_*.json anchor.
 
-The anchored quantity is the CSR/legacy broadcast *speedup ratio*
-(items_per_second of BM_BroadcastCsr/N divided by BM_Broadcast/N), which is
-largely machine-independent — comparing raw ns across CI runners would be
-noise. If the current ratio falls more than --max-regression below the
-anchor's ratio, a GitHub Actions ::warning:: annotation is emitted.
+The anchored quantity is a *speedup ratio* between a fast-path benchmark and
+its baseline (items_per_second of --fast-bench/N divided by
+--baseline-bench/N), which is largely machine-independent — comparing raw ns
+across CI runners would be noise. Two anchor pairs exist today:
+
+  BENCH_broadcast.json    broadcast_speedup     BM_BroadcastCsr / BM_Broadcast
+  BENCH_multi_source.json multi_source_speedup  BM_MultiSourceBatched /
+                                                BM_MultiSourcePerSourceCsr
+
+If the current ratio falls more than --max-regression below the anchor's
+ratio, a GitHub Actions ::warning:: annotation is emitted.
 
 This gate is deliberately soft: it never fails the build (exit code 0 unless
 the inputs are unreadable), because shared CI runners are too noisy for a
@@ -14,8 +20,9 @@ hard perf wall. It exists to make a real fast-path regression loud in the PR
 checks without blocking unrelated work.
 
 Usage:
-  check_bench_regression.py <current_benchmark.json> <BENCH_broadcast.json>
-      [--max-regression 0.25] [--sizes 1000,...]
+  check_bench_regression.py <current_benchmark.json> <BENCH_anchor.json>
+      [--key broadcast_speedup] [--baseline-bench BM_Broadcast]
+      [--fast-bench BM_BroadcastCsr] [--max-regression 0.25] [--sizes 1000]
 """
 
 import argparse
@@ -35,7 +42,23 @@ def items_per_second(entries, name):
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("current", help="benchmark --benchmark_format=json output")
-    parser.add_argument("anchor", help="checked-in BENCH_broadcast.json")
+    parser.add_argument("anchor", help="checked-in BENCH_*.json anchor")
+    parser.add_argument(
+        "--key",
+        default="broadcast_speedup",
+        help="anchor object holding the per-size speedup ratios "
+        '(e.g. {"n1000": 1.8})',
+    )
+    parser.add_argument(
+        "--baseline-bench",
+        default="BM_Broadcast",
+        help="benchmark name of the baseline (denominator), without /size",
+    )
+    parser.add_argument(
+        "--fast-bench",
+        default="BM_BroadcastCsr",
+        help="benchmark name of the fast path (numerator), without /size",
+    )
     parser.add_argument(
         "--max-regression",
         type=float,
@@ -45,7 +68,7 @@ def main():
     parser.add_argument(
         "--sizes",
         default="1000",
-        help="comma-separated BM_Broadcast Arg sizes to check (default: the "
+        help="comma-separated benchmark Arg sizes to check (default: the "
         "fig3a grid size 1000)",
     )
     args = parser.parse_args()
@@ -60,34 +83,35 @@ def main():
         return 1
 
     current_entries = current.get("benchmarks", [])
-    anchor_speedups = anchor.get("broadcast_speedup", {})
+    anchor_speedups = anchor.get(args.key, {})
 
     warned = False
     checked = 0
     for size in args.sizes.split(","):
         size = size.strip()
         anchor_ratio = anchor_speedups.get(f"n{size}")
-        legacy = items_per_second(current_entries, f"BM_Broadcast/{size}")
-        csr = items_per_second(current_entries, f"BM_BroadcastCsr/{size}")
-        if anchor_ratio is None or legacy is None or csr is None:
+        baseline = items_per_second(
+            current_entries, f"{args.baseline_bench}/{size}"
+        )
+        fast = items_per_second(current_entries, f"{args.fast_bench}/{size}")
+        if anchor_ratio is None or baseline is None or fast is None:
             print(
                 f"::notice::perf gate: n={size} missing from current run or "
                 "anchor; skipped"
             )
             continue
         checked += 1
-        ratio = csr / legacy
+        ratio = fast / baseline
         drop = 1.0 - ratio / anchor_ratio
         line = (
-            f"BM_BroadcastCsr/{size} speedup ratio {ratio:.3f}x "
+            f"{args.fast_bench}/{size} speedup ratio {ratio:.3f}x "
             f"(anchor {anchor_ratio:.3f}x, change {-drop:+.1%})"
         )
         if drop > args.max_regression:
             print(
-                f"::warning title=BM_BroadcastCsr perf regression::{line} "
+                f"::warning title={args.fast_bench} perf regression::{line} "
                 f"— regressed more than {args.max_regression:.0%} vs "
-                "BENCH_broadcast.json; re-anchor or investigate the CSR "
-                "fast path"
+                f"{args.anchor}; re-anchor or investigate the fast path"
             )
             warned = True
         else:

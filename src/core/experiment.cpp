@@ -21,13 +21,18 @@ namespace scn = perigee::scenario;
 namespace perigee::core {
 namespace {
 
+// Checkpoint evaluation over an already-compiled snapshot (the round
+// runner's cache), sharing the experiment's engine scratch and pool: no
+// per-checkpoint compile, no per-checkpoint arena.
 Checkpoint make_checkpoint(std::size_t blocks_mined,
-                           const net::Topology& topology,
-                           const net::Network& network, double coverage) {
+                           const net::CsrTopology& csr,
+                           const net::Network& network, double coverage,
+                           sim::MultiSourceScratch& scratch,
+                           runner::ThreadPool* pool) {
   Checkpoint cp;
   cp.blocks_mined = blocks_mined;
   const auto lambda =
-      metrics::eval_all_sources(topology, network, coverage);
+      metrics::eval_all_sources(csr, network, coverage, &scratch, pool);
   cp.mean_lambda = util::mean(lambda);
   cp.median_lambda = util::percentile(lambda, 0.5);
   return cp;
@@ -114,6 +119,26 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   ExperimentResult result;
   result.algorithm = std::string(algorithm_name(config.algorithm));
 
+  // Source-level parallelism (config.engine_jobs): one pool and one engine
+  // arena serve the round loop, every checkpoint, and the final λ
+  // evaluations. Byte-identical at any worker count, so sweep grids that
+  // parallelize across seeds instead simply leave this at 1.
+  std::unique_ptr<runner::ThreadPool> engine_pool;
+  if (config.engine_jobs != 1) {
+    const unsigned workers = runner::resolve_jobs(config.engine_jobs);
+    if (workers > 1) {
+      engine_pool = std::make_unique<runner::ThreadPool>(workers);
+    }
+  }
+  sim::MultiSourceScratch eval_scratch;
+  const auto eval_both = [&](const net::CsrTopology& csr) {
+    result.lambda = metrics::eval_all_sources(
+        csr, scenario.network, config.coverage, &eval_scratch,
+        engine_pool.get());
+    result.lambda50 = metrics::eval_all_sources(
+        csr, scenario.network, 0.50, &eval_scratch, engine_pool.get());
+  };
+
   // Static baselines normally skip the round loop (their selectors never
   // rewire, so rounds would be no-ops) — but under churn the rounds *do*
   // something: nodes leave and rejoin, so every algorithm must live through
@@ -143,6 +168,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
         blocks_per_round, config.seed,
         config.message_level ? sim::RoundRunner::Engine::Gossip
                              : sim::RoundRunner::Engine::Fast);
+    runner.set_thread_pool(engine_pool.get());
 
     std::unique_ptr<net::AddrMan> addrman;
     if (config.partial_view) {
@@ -174,9 +200,13 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
       });
     }
 
+    // Checkpoints evaluate runner.current_csr(): the compile is served from
+    // the runner's cache, so the next round (same topology version) reuses
+    // it instead of compiling the same graph a second time.
     if (config.checkpoints > 0) {
-      result.checkpoints.push_back(make_checkpoint(
-          0, scenario.topology, scenario.network, config.coverage));
+      result.checkpoints.push_back(
+          make_checkpoint(0, runner.current_csr(), scenario.network,
+                          config.coverage, eval_scratch, engine_pool.get()));
     }
     const int interval =
         config.checkpoints > 0
@@ -191,19 +221,18 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
         result.checkpoints.push_back(make_checkpoint(
             static_cast<std::size_t>(done) *
                 static_cast<std::size_t>(budget_per_round),
-            scenario.topology, scenario.network, config.coverage));
+            runner.current_csr(), scenario.network, config.coverage,
+            eval_scratch, engine_pool.get()));
       }
     }
+    // Both final coverage evaluations ride on the runner's cached compile.
+    eval_both(runner.current_csr());
+  } else {
+    // No round loop ran: one flat-graph compile serves both coverage
+    // evaluations of the static topology.
+    eval_both(net::CsrTopology::build(scenario.topology, scenario.network));
   }
 
-  // One flat-graph compile serves both coverage evaluations of the final
-  // topology (each is n source broadcasts over the same graph).
-  const net::CsrTopology final_csr =
-      net::CsrTopology::build(scenario.topology, scenario.network);
-  result.lambda =
-      metrics::eval_all_sources(final_csr, scenario.network, config.coverage);
-  result.lambda50 =
-      metrics::eval_all_sources(final_csr, scenario.network, 0.50);
   result.edge_latencies =
       metrics::p2p_edge_latencies(scenario.topology, scenario.network);
   return result;
@@ -244,9 +273,26 @@ void for_each_seed(int num_seeds, int jobs,
 
 }  // namespace
 
+namespace {
+
+// Workers beyond the seed count would idle in the seed pool; hand them to
+// each seed's engine instead (config.engine_jobs), where the batched
+// engine's any-worker-count determinism keeps results byte-identical.
+void flow_leftover_jobs(ExperimentConfig& config, int num_seeds, int jobs) {
+  const unsigned resolved = runner::resolve_jobs(jobs);
+  if (config.engine_jobs == 1 &&
+      resolved > static_cast<unsigned>(num_seeds)) {
+    config.engine_jobs =
+        static_cast<int>(resolved / static_cast<unsigned>(num_seeds));
+  }
+}
+
+}  // namespace
+
 MultiSeedResult run_multi_seed(ExperimentConfig config, int num_seeds,
                                int jobs) {
   PERIGEE_ASSERT(num_seeds >= 1);
+  flow_leftover_jobs(config, num_seeds, jobs);
   std::vector<std::vector<double>> runs(static_cast<std::size_t>(num_seeds));
   std::vector<std::vector<double>> runs50(static_cast<std::size_t>(num_seeds));
   const std::uint64_t base_seed = config.seed;
@@ -298,9 +344,17 @@ IncrementalResult run_incremental(const ExperimentConfig& config,
                                             config.params)
                             : make_selector(Algorithm::Random));
   }
+  std::unique_ptr<runner::ThreadPool> engine_pool;
+  if (config.engine_jobs != 1) {
+    const unsigned workers = runner::resolve_jobs(config.engine_jobs);
+    if (workers > 1) {
+      engine_pool = std::make_unique<runner::ThreadPool>(workers);
+    }
+  }
   sim::RoundRunner runner(scenario.network, scenario.topology,
                           std::move(selectors), config.blocks_per_round,
                           config.seed);
+  runner.set_thread_pool(engine_pool.get());
   std::unique_ptr<scn::ChurnDriver> churn;
   if (config.scenario.churn.enabled()) {
     churn = std::make_unique<scn::ChurnDriver>(config.scenario.churn,
@@ -315,8 +369,13 @@ IncrementalResult run_incremental(const ExperimentConfig& config,
   }
   runner.run_rounds(config.rounds);
 
-  const auto lambda = metrics::eval_all_sources(
-      scenario.topology, scenario.network, config.coverage);
+  // The final evaluation reuses the runner's cached compile of the final
+  // topology instead of building a second snapshot.
+  sim::MultiSourceScratch eval_scratch;
+  const auto lambda =
+      metrics::eval_all_sources(runner.current_csr(), scenario.network,
+                                config.coverage, &eval_scratch,
+                                engine_pool.get());
   IncrementalResult result;
   for (std::size_t v = 0; v < n; ++v) {
     (adopter[v] ? result.lambda_adopters : result.lambda_others)
@@ -329,6 +388,7 @@ IncrementalCurves run_incremental_multi_seed(ExperimentConfig config,
                                              double adopter_fraction,
                                              int num_seeds, int jobs) {
   PERIGEE_ASSERT(num_seeds >= 1);
+  flow_leftover_jobs(config, num_seeds, jobs);
   // Adopter count k = fraction * n is seed-independent, so the per-group
   // vectors have equal length across seeds and aggregate cleanly.
   std::vector<std::vector<double>> adopters(

@@ -67,6 +67,14 @@ struct ExperimentConfig {
   // Number of intermediate λ evaluations during learning (0 = none).
   int checkpoints = 0;
 
+  // Source-level parallelism inside one experiment: > 1 runs each round's
+  // block batch and every λ evaluation across a runner::ThreadPool of this
+  // many workers (0 = all hardware threads). Results are byte-identical at
+  // any value — the batched engine writes per-source slots — so this only
+  // changes wall-clock. run_multi_seed raises it automatically when it has
+  // more workers than seeds.
+  int engine_jobs = 1;
+
   // Master seed: drives network construction, hash power, initial topology,
   // mining and exploration.
   std::uint64_t seed = 1;

@@ -2,6 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
+
+#include "runner/thread_pool.hpp"
+#include "sim/batch.hpp"
+#include "util/radix.hpp"
 
 #include "util/assert.hpp"
 #include "util/stats.hpp"
@@ -9,12 +14,13 @@
 namespace perigee::metrics {
 namespace {
 
-// Shared accumulation: given (arrival, hash power) pairs, the earliest time
-// at which cumulative power reaches coverage * total_power.
-double coverage_time(std::vector<std::pair<double, double>>& by_arrival,
-                     double total_power, double coverage) {
+// Accumulation over pairs already sorted ascending by (arrival, power):
+// the earliest time at which cumulative power reaches
+// coverage * total_power.
+double coverage_time_sorted(
+    const std::vector<std::pair<double, double>>& by_arrival,
+    double total_power, double coverage) {
   PERIGEE_ASSERT(coverage > 0.0 && coverage <= 1.0);
-  std::sort(by_arrival.begin(), by_arrival.end());
   const double target = coverage * total_power;
   double acc = 0;
   for (const auto& [t, power] : by_arrival) {
@@ -24,6 +30,14 @@ double coverage_time(std::vector<std::pair<double, double>>& by_arrival,
     if (acc >= target - 1e-12) return t;
   }
   return util::kInf;
+}
+
+// Shared accumulation: given (arrival, hash power) pairs, the earliest time
+// at which cumulative power reaches coverage * total_power.
+double coverage_time(std::vector<std::pair<double, double>>& by_arrival,
+                     double total_power, double coverage) {
+  std::sort(by_arrival.begin(), by_arrival.end());
+  return coverage_time_sorted(by_arrival, total_power, coverage);
 }
 
 }  // namespace
@@ -51,15 +65,45 @@ std::vector<double> eval_all_sources(const net::Topology& topology,
 
 std::vector<double> eval_all_sources(const net::CsrTopology& csr,
                                      const net::Network& network,
-                                     double coverage) {
+                                     double coverage,
+                                     sim::MultiSourceScratch* scratch,
+                                     runner::ThreadPool* pool) {
   PERIGEE_ASSERT(csr.size() == network.size());
-  std::vector<double> lambda(network.size());
-  sim::BroadcastScratch scratch;
-  sim::BroadcastResult result;
-  for (net::NodeId v = 0; v < network.size(); ++v) {
-    sim::simulate_broadcast(csr, v, scratch, result);
-    lambda[v] = lambda_for_broadcast(result, network, coverage);
+  const std::size_t n = network.size();
+  std::vector<double> lambda(n);
+  // Hash powers (and their sum, accumulated in NodeId order exactly as
+  // lambda_for_broadcast does) are batch constants: extract them once
+  // instead of walking the profiles per source.
+  std::vector<double> powers(n);
+  double total = 0;
+  for (net::NodeId v = 0; v < n; ++v) {
+    powers[v] = network.profile(v).hash_power;
+    total += powers[v];
   }
+  std::vector<net::NodeId> sources(n);
+  std::iota(sources.begin(), sources.end(), net::NodeId{0});
+
+  sim::MultiSourceScratch local_scratch;
+  sim::MultiSourceScratch& arena = scratch != nullptr ? *scratch
+                                                      : local_scratch;
+  sim::for_each_source_broadcast(
+      csr, sources, arena,
+      [&](std::size_t lane, std::size_t s, std::span<const double> arrival,
+          std::span<const double> /*ready*/) {
+        auto& buffers = arena.lane(lane);
+        auto& by_arrival = buffers.by_arrival;
+        by_arrival.resize(n);
+        const double* arr = arrival.data();
+        const double* pow = powers.data();
+        for (std::size_t v = 0; v < n; ++v) {
+          by_arrival[v] = {arr[v], pow[v]};
+        }
+        // Radix replaces std::sort but yields the identical sequence, so λ
+        // stays bit-equal to lambda_for_broadcast on the same arrival set.
+        util::radix_sort_arrival_pairs(by_arrival, buffers.sort_scratch);
+        lambda[s] = coverage_time_sorted(by_arrival, total, coverage);
+      },
+      pool, /*need_ready=*/false);
   return lambda;
 }
 

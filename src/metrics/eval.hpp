@@ -11,6 +11,14 @@
 #include "net/topology.hpp"
 #include "sim/broadcast.hpp"
 
+namespace perigee::runner {
+class ThreadPool;
+}  // namespace perigee::runner
+
+namespace perigee::sim {
+class MultiSourceScratch;
+}  // namespace perigee::sim
+
 namespace perigee::metrics {
 
 /// λ for one broadcast: sorts nodes by arrival and accumulates hash power
@@ -20,19 +28,25 @@ double lambda_for_broadcast(const sim::BroadcastResult& result,
                             const net::Network& network, double coverage);
 
 /// λv for every source v (unsorted, index == NodeId). Compiles one
-/// `net::CsrTopology` and batches all n source broadcasts over it with a
-/// single reusable scratch, so the per-source cost is pure engine work.
+/// `net::CsrTopology` and runs all n sources through the batched
+/// multi-source engine (sim/batch.hpp), so the per-source cost is pure
+/// engine work. Standalone convenience — callers that already hold a
+/// snapshot (the experiment harness, the round loop's checkpoints) use the
+/// overload below and skip the compile.
 std::vector<double> eval_all_sources(const net::Topology& topology,
                                      const net::Network& network,
                                      double coverage = 0.90);
 
-/// Same batched evaluation over a snapshot the caller already compiled
-/// (e.g. the experiment harness evaluating several coverages of one final
-/// topology). `network` supplies the hash powers for the coverage
-/// accumulation and must be the one the snapshot was built over.
-std::vector<double> eval_all_sources(const net::CsrTopology& csr,
-                                     const net::Network& network,
-                                     double coverage = 0.90);
+/// Batched evaluation over a snapshot the caller already compiled — the
+/// batch entry point the compile and scratch acquisition are hoisted to.
+/// `network` supplies the hash powers for the coverage accumulation and
+/// must be the one the snapshot was built over. `scratch` (optional) reuses
+/// the caller's engine arena across evaluations; `pool` (optional) fans
+/// sources across workers — λ output is byte-identical at any worker count.
+std::vector<double> eval_all_sources(
+    const net::CsrTopology& csr, const net::Network& network,
+    double coverage = 0.90, sim::MultiSourceScratch* scratch = nullptr,
+    runner::ThreadPool* pool = nullptr);
 
 /// λv on the fully-connected topology ("ideal" in Figure 3), computed as a
 /// dense per-source Dijkstra without materializing an O(n^2) Topology. When

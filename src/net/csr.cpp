@@ -1,5 +1,8 @@
 #include "net/csr.hpp"
 
+#include <algorithm>
+#include <limits>
+
 #include "util/assert.hpp"
 
 namespace perigee::net {
@@ -23,9 +26,15 @@ CsrTopology CsrTopology::build(const Topology& topology,
   csr.forwards_.resize(n);
   csr.validation_ms_.resize(n);
 
+  // Delay/validation bounds ride along with the compile; the batched
+  // engine sizes its bucket queue from them without another O(E) pass.
+  double min_delay = std::numeric_limits<double>::infinity();
+  double max_delay = 0.0;
+  double max_validation = 0.0;
   for (NodeId v = 0; v < n; ++v) {
     csr.forwards_[v] = network.profile(v).forwards ? 1 : 0;
     csr.validation_ms_[v] = network.validation_ms(v);
+    max_validation = std::max(max_validation, csr.validation_ms_[v]);
     std::size_t e = csr.offsets_[v];
     for (const auto& link : topology.adjacency(v)) {
       csr.peer_[e] = link.peer;
@@ -40,9 +49,14 @@ CsrTopology CsrTopology::build(const Topology& topology,
             network.edge_delay_from_link_ms(link_ms, v, link.peer);
         csr.control_ms_[e] = link_ms;
       }
+      min_delay = std::min(min_delay, csr.delay_ms_[e]);
+      max_delay = std::max(max_delay, csr.delay_ms_[e]);
       ++e;
     }
   }
+  csr.min_delay_ms_ = min_delay;
+  csr.max_delay_ms_ = max_delay;
+  csr.max_validation_ms_ = max_validation;
   return csr;
 }
 

@@ -73,6 +73,18 @@ class CsrTopology {
   /// Cached per-node validation delay Δv in ms.
   double validation_ms(NodeId v) const { return validation_ms_[v]; }
 
+  /// Smallest block δ over all link entries (+inf when there are none).
+  /// The batched engine derives its bucket-queue width from this; a
+  /// non-positive value (a zero-latency infra edge) routes it to the heap
+  /// fallback instead.
+  double min_delay_ms() const { return min_delay_ms_; }
+  /// Largest block δ over all link entries (0 when there are none).
+  double max_delay_ms() const { return max_delay_ms_; }
+  /// Largest per-node validation delay Δv (0 for an empty graph). Together
+  /// with `max_delay_ms` this bounds how far one Dijkstra relaxation can
+  /// reach past the key being settled.
+  double max_validation_ms() const { return max_validation_ms_; }
+
   /// Raw arrays for the engine hot loop: `offsets()[v] .. offsets()[v+1]`
   /// indexes `peer_data()` / `delay_data()`.
   const std::size_t* offsets() const { return offsets_.data(); }
@@ -101,6 +113,9 @@ class CsrTopology {
   std::vector<double> control_ms_;        ///< pre-resolved control δ per entry
   std::vector<std::uint8_t> forwards_;    ///< per-node relay flag
   std::vector<double> validation_ms_;     ///< per-node Δv
+  double min_delay_ms_ = 0.0;             ///< min block δ over all entries
+  double max_delay_ms_ = 0.0;             ///< max block δ over all entries
+  double max_validation_ms_ = 0.0;        ///< max Δv over all nodes
 };
 
 /// Lazy rebuild-on-rewire cache: hands out a `CsrTopology` snapshot that is

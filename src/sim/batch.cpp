@@ -1,0 +1,208 @@
+#include "sim/batch.hpp"
+
+#include <algorithm>
+
+#include "runner/thread_pool.hpp"
+#include "sim/dary_heap.hpp"
+#include "util/assert.hpp"
+#include "util/stats.hpp"
+
+namespace perigee::sim {
+namespace {
+
+// Per-batch relaxation plan, derived once from the snapshot's cached delay
+// bounds: bucket width w <= min δ / 2 gives every relaxation a >= 2w key
+// increase, so a candidate can never land in the bucket being drained even
+// after floating-point index rounding (see bucket_queue.hpp).
+struct BatchPlan {
+  bool use_buckets = false;
+  double width = 0.0;
+};
+
+BatchPlan make_plan(const net::CsrTopology& csr) {
+  BatchPlan plan;
+  const double min_delay = csr.min_delay_ms();
+  const double max_reach = csr.max_delay_ms() + csr.max_validation_ms();
+  if (csr.num_links() > 0 && BucketQueue::viable(min_delay, max_reach)) {
+    plan.use_buckets = true;
+    plan.width = BucketQueue::preferred_width(min_delay, max_reach);
+  }
+  return plan;
+}
+
+// One source's Dijkstra relaxation into caller-provided stripes. The inner
+// loop matches the single-source CSR engine except for three proven-equal
+// transformations:
+//  - the per-edge `settled[v]` skip is dropped — a settled v has
+//    arrival <= the key being drained, so `cand < arrival[v]` is already
+//    false;
+//  - the settled flag array itself is dropped — a node's queue entries
+//    carry strictly decreasing keys (each push strictly improved arrival),
+//    so an entry is the settling one iff its key equals the node's current
+//    arrival, and no later entry can match again (post-settle relaxations
+//    never improve a settled node);
+//  - ready is filled in one pass afterwards (skipped when the caller only
+//    consumes arrival): the last per-edge store the reference engine makes
+//    is exactly final-arrival + Δv, and +inf + Δv == +inf keeps unreached
+//    nodes exact.
+void solve_one(const net::CsrTopology& csr, const BatchPlan& plan,
+               MultiSourceScratch::Lane& lane, net::NodeId src,
+               double* arrival, double* ready) {
+  const std::size_t n = csr.size();
+  PERIGEE_ASSERT(src < n);
+  std::fill_n(arrival, n, util::kInf);
+  arrival[src] = 0.0;
+
+  const std::size_t* offsets = csr.offsets();
+  const net::NodeId* peers = csr.peer_data();
+  const double* delays = csr.delay_data();
+
+  if (plan.use_buckets) {
+    BucketQueue& queue = lane.queue;
+    queue.reset(plan.width);
+    queue.push(0.0, src);
+    while (!queue.empty()) {
+      const auto [t, u] = queue.pop();
+      if (t != arrival[u]) continue;  // stale: u settled at a smaller key
+      if (!csr.forwards(u) && u != src) continue;
+      const double ready_u = u == src ? 0.0 : t + csr.validation_ms(u);
+      const std::size_t row_end = offsets[u + 1];
+      for (std::size_t e = offsets[u]; e < row_end; ++e) {
+        const net::NodeId v = peers[e];
+        const double cand = ready_u + delays[e];
+        if (cand < arrival[v]) {
+          arrival[v] = cand;
+          queue.push(cand, v);
+        }
+      }
+    }
+  } else {
+    std::vector<HeapItem>& heap = lane.heap;
+    heap.clear();
+    heap_push(heap, {0.0, src});
+    while (!heap.empty()) {
+      const auto [t, u] = heap_pop(heap);
+      if (t != arrival[u]) continue;  // stale: u settled at a smaller key
+      if (!csr.forwards(u) && u != src) continue;
+      const double ready_u = u == src ? 0.0 : t + csr.validation_ms(u);
+      const std::size_t row_end = offsets[u + 1];
+      for (std::size_t e = offsets[u]; e < row_end; ++e) {
+        const net::NodeId v = peers[e];
+        const double cand = ready_u + delays[e];
+        if (cand < arrival[v]) {
+          arrival[v] = cand;
+          heap_push(heap, {cand, v});
+        }
+      }
+    }
+  }
+
+  if (ready != nullptr) {
+    for (std::size_t v = 0; v < n; ++v) {
+      ready[v] = arrival[v] + csr.validation_ms(static_cast<net::NodeId>(v));
+    }
+    ready[src] = 0.0;  // the miner does not validate its own block
+  }
+}
+
+// Fans `count` sources across the pool as contiguous per-worker ranges;
+// work(lane, s) must write only s-indexed output. Worker count never
+// affects results — it only changes which lane's scratch a source borrows.
+void dispatch(std::size_t count, MultiSourceScratch& scratch,
+              runner::ThreadPool* pool,
+              const std::function<void(std::size_t lane, std::size_t s)>&
+                  work) {
+  std::size_t workers =
+      pool != nullptr ? std::min<std::size_t>(pool->size(), count) : 1;
+  if (workers == 0) workers = 1;
+  scratch.ensure_lanes(workers);
+  if (workers <= 1) {
+    for (std::size_t s = 0; s < count; ++s) work(0, s);
+    return;
+  }
+  const std::size_t chunk = (count + workers - 1) / workers;
+  for (std::size_t w = 0; w < workers; ++w) {
+    const std::size_t lo = w * chunk;
+    const std::size_t hi = std::min(count, lo + chunk);
+    if (lo >= hi) break;
+    pool->submit([&work, w, lo, hi] {
+      for (std::size_t s = lo; s < hi; ++s) work(w, s);
+    });
+  }
+  pool->wait();
+}
+
+}  // namespace
+
+void MultiSourceResult::extract(std::size_t s, BroadcastResult& out) const {
+  PERIGEE_ASSERT(s < sources.size());
+  out.miner = sources[s];
+  const auto a = arrival_of(s);
+  const auto r = ready_of(s);
+  out.arrival.assign(a.begin(), a.end());
+  out.ready.assign(r.begin(), r.end());
+}
+
+MultiSourceScratch::MultiSourceScratch() = default;
+MultiSourceScratch::~MultiSourceScratch() = default;
+MultiSourceScratch::MultiSourceScratch(MultiSourceScratch&&) noexcept =
+    default;
+MultiSourceScratch& MultiSourceScratch::operator=(
+    MultiSourceScratch&&) noexcept = default;
+
+MultiSourceScratch::Lane& MultiSourceScratch::lane(std::size_t i) {
+  PERIGEE_ASSERT(i < lanes_.size());
+  return *lanes_[i];
+}
+
+std::size_t MultiSourceScratch::lanes() const { return lanes_.size(); }
+
+void MultiSourceScratch::ensure_lanes(std::size_t count) {
+  while (lanes_.size() < count) {
+    lanes_.push_back(std::make_unique<Lane>());
+  }
+}
+
+void simulate_broadcast_batch(const net::CsrTopology& csr,
+                              std::span<const net::NodeId> sources,
+                              MultiSourceScratch& scratch,
+                              MultiSourceResult& out,
+                              runner::ThreadPool* pool) {
+  const std::size_t n = csr.size();
+  out.nodes = n;
+  out.sources.assign(sources.begin(), sources.end());
+  out.arrival.resize(sources.size() * n);
+  out.ready.resize(sources.size() * n);
+  const BatchPlan plan = make_plan(csr);
+  dispatch(sources.size(), scratch, pool,
+           [&](std::size_t lane_idx, std::size_t s) {
+             solve_one(csr, plan, scratch.lane(lane_idx), sources[s],
+                       out.arrival.data() + s * n, out.ready.data() + s * n);
+           });
+}
+
+void for_each_source_broadcast(const net::CsrTopology& csr,
+                               std::span<const net::NodeId> sources,
+                               MultiSourceScratch& scratch,
+                               const SourceSink& sink,
+                               runner::ThreadPool* pool, bool need_ready) {
+  const std::size_t n = csr.size();
+  const BatchPlan plan = make_plan(csr);
+  dispatch(sources.size(), scratch, pool,
+           [&](std::size_t lane_idx, std::size_t s) {
+             MultiSourceScratch::Lane& lane = scratch.lane(lane_idx);
+             lane.arrival.resize(n);
+             double* ready = nullptr;
+             if (need_ready) {
+               lane.ready.resize(n);
+               ready = lane.ready.data();
+             }
+             solve_one(csr, plan, lane, sources[s], lane.arrival.data(),
+                       ready);
+             sink(lane_idx, s, lane.arrival,
+                  need_ready ? std::span<const double>(lane.ready)
+                             : std::span<const double>());
+           });
+}
+
+}  // namespace perigee::sim

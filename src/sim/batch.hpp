@@ -1,0 +1,143 @@
+/// \file
+/// \brief Batched multi-source broadcast engine.
+///
+/// Every figure and ablation reduces to "broadcast |B| blocks from
+/// hash-weighted sources over one static graph": the round loop simulates
+/// all blocks of a round on one `net::CsrTopology` snapshot, and the λ
+/// metric broadcasts from every node of the network. This engine runs all
+/// sources of such a batch through one compile and one arena-backed scratch
+/// pool:
+///
+///  - arrival/ready outputs are laid out SoA, one contiguous per-source
+///    stripe of an arena each (`MultiSourceResult`), so a batch performs two
+///    allocations total instead of 2·|sources|;
+///  - the per-source relaxation replaces the 4-ary heap with a monotone
+///    `BucketQueue` whose width derives from the snapshot's minimum edge
+///    delay (graphs where that is degenerate — a zero-latency infra edge, an
+///    edgeless topology — fall back to the shared `dary_heap.hpp` path);
+///  - the ready vector is filled in one vectorizable pass after the
+///    relaxation (`ready[v] = arrival[v] + Δv`), which is bit-identical to
+///    the reference engines' per-relaxation stores because the last value
+///    they store is exactly final-arrival + Δv;
+///  - sources fan out across an optional `runner::ThreadPool`: each worker
+///    lane owns its queue/settled scratch, every source writes its
+///    pre-assigned stripe, and results are therefore byte-identical at any
+///    worker count — the same determinism contract as the sweep runner.
+///
+/// Outputs are byte-for-byte identical to both the legacy Topology-walking
+/// engine and the single-source CSR engine; `tests/sim_engine_diff_test.cpp`
+/// holds all three to that across every scenario regime.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "net/csr.hpp"
+#include "net/types.hpp"
+#include "sim/broadcast.hpp"
+#include "sim/bucket_queue.hpp"
+#include "sim/dary_heap.hpp"
+
+namespace perigee::runner {
+class ThreadPool;
+}  // namespace perigee::runner
+
+namespace perigee::sim {
+
+/// SoA outcome of one batch: per-source stripes of two shared arenas.
+/// Stripe `s` of each arena holds what `BroadcastResult::arrival` / `ready`
+/// would for `sources[s]`.
+struct MultiSourceResult {
+  std::size_t nodes = 0;               ///< stripe length
+  std::vector<net::NodeId> sources;    ///< batch echo, stripe index -> source
+  std::vector<double> arrival;         ///< sources.size() stripes of `nodes`
+  std::vector<double> ready;           ///< sources.size() stripes of `nodes`
+
+  /// Arrival stripe of batch entry `s`.
+  std::span<const double> arrival_of(std::size_t s) const {
+    return {arrival.data() + s * nodes, nodes};
+  }
+  /// Ready stripe of batch entry `s`.
+  std::span<const double> ready_of(std::size_t s) const {
+    return {ready.data() + s * nodes, nodes};
+  }
+  /// Copies stripe `s` into the single-source result shape (block hooks,
+  /// tests). `out`'s vectors are reused.
+  void extract(std::size_t s, BroadcastResult& out) const;
+};
+
+/// Reusable arena of per-worker scratch lanes (bucket queue, heap fallback,
+/// settled flags, one stripe pair for the streaming form, λ sort buffer).
+/// Lanes are grown on demand and survive across batches, so a sweep cell
+/// running thousands of rounds performs no steady-state allocation. Not
+/// thread-safe to share across concurrent *batches*; within one batch each
+/// worker owns one lane.
+class MultiSourceScratch {
+ public:
+  MultiSourceScratch();
+  ~MultiSourceScratch();
+  MultiSourceScratch(MultiSourceScratch&&) noexcept;
+  MultiSourceScratch& operator=(MultiSourceScratch&&) noexcept;
+
+  struct Lane;
+  /// Lane `i`, valid until the next `ensure_lanes`. Exposed for the λ
+  /// evaluation, which keeps a per-lane sort buffer next to the engine's
+  /// scratch.
+  Lane& lane(std::size_t i);
+  std::size_t lanes() const;
+  /// Grows the pool to at least `count` lanes.
+  void ensure_lanes(std::size_t count);
+
+ private:
+  std::vector<std::unique_ptr<Lane>> lanes_;
+};
+
+/// Per-worker scratch: engine internals plus a caller-usable sort buffer.
+/// (No settled array: the engine detects stale queue entries by comparing
+/// the popped key against the node's current arrival instead.)
+struct MultiSourceScratch::Lane {
+  BucketQueue queue;                  ///< fast-path relaxation queue
+  std::vector<HeapItem> heap;         ///< fallback 4-ary heap storage
+  std::vector<double> arrival;        ///< streaming-form stripe
+  std::vector<double> ready;          ///< streaming-form stripe
+  /// (arrival, hash power) pairs for the λ coverage accumulation; lives here
+  /// so metrics::eval_all_sources is allocation-free per source too.
+  std::vector<std::pair<double, double>> by_arrival;
+  /// Ping-pong buffer for the radix sort of `by_arrival`.
+  std::vector<std::pair<double, double>> sort_scratch;
+};
+
+/// Simulates a broadcast from every entry of `sources` over one compiled
+/// snapshot, materializing all stripes (the round loop's shape: |B| miners,
+/// observation recording wants every result at once). With a pool, sources
+/// are partitioned into contiguous per-worker ranges; without one the batch
+/// runs inline. Byte-identical to per-source `simulate_broadcast` at any
+/// worker count.
+void simulate_broadcast_batch(const net::CsrTopology& csr,
+                              std::span<const net::NodeId> sources,
+                              MultiSourceScratch& scratch,
+                              MultiSourceResult& out,
+                              runner::ThreadPool* pool = nullptr);
+
+/// Streaming form for batches whose per-source outputs reduce immediately
+/// (the λ metric: n sources would otherwise materialize O(n²) doubles).
+/// Each source's stripes live in its lane and are valid only during the
+/// `sink` call; `sink(lane, s, arrival, ready)` may run concurrently from
+/// pool workers for distinct `s` and must write only `s`-indexed slots to
+/// preserve the determinism contract. With `need_ready` false the ready
+/// fill pass is skipped and the sink receives an empty ready span — the λ
+/// evaluation only consumes arrival.
+using SourceSink = std::function<void(
+    std::size_t lane, std::size_t s, std::span<const double> arrival,
+    std::span<const double> ready)>;
+void for_each_source_broadcast(const net::CsrTopology& csr,
+                               std::span<const net::NodeId> sources,
+                               MultiSourceScratch& scratch,
+                               const SourceSink& sink,
+                               runner::ThreadPool* pool = nullptr,
+                               bool need_ready = true);
+
+}  // namespace perigee::sim

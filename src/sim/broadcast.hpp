@@ -8,15 +8,21 @@
 ///   ready(u)    = arrival(u) + Δu          (the miner skips validation)
 /// which a Dijkstra-style relaxation computes exactly in O(E log V).
 ///
-/// Two interchangeable engines compute that relaxation:
+/// Three interchangeable engines compute that relaxation:
 ///  - the reference engine walks `net::Topology` link lists through a
 ///    binary `std::priority_queue`, resolving δ per edge visit;
-///  - the fast path runs on a compiled `net::CsrTopology` (pre-resolved δ,
-///    contiguous rows) with a 4-ary heap and caller-owned reusable scratch
-///    buffers, and is the one the round loop and the metrics use.
+///  - the single-source CSR engine runs on a compiled `net::CsrTopology`
+///    (pre-resolved δ, contiguous rows) with a 4-ary heap and caller-owned
+///    reusable scratch buffers, and serves as the parity oracle for
+///  - the batched multi-source engine (sim/batch.hpp): all sources of a
+///    round or a λ evaluation over one compile, a monotone bucket queue in
+///    place of the heap, SoA per-source result stripes, and optional
+///    source-level `runner::ThreadPool` parallelism — the one the round
+///    loop and the metrics use.
 /// Their outputs are bit-identical — arrival is the exact minimum over
 /// identical per-path sums, independent of relaxation order — and
-/// `tests/sim_csr_parity_test.cpp` enforces it byte for byte.
+/// `tests/sim_csr_parity_test.cpp` + `tests/sim_engine_diff_test.cpp`
+/// enforce it byte for byte.
 #pragma once
 
 #include <utility>
@@ -38,11 +44,12 @@ struct BroadcastResult {
   std::vector<double> ready;
 };
 
-/// Reusable per-worker arena for the CSR engine: the heap and settled
-/// buffers survive across calls, so a worker simulating thousands of blocks
-/// per sweep cell allocates them once. Not thread-safe; give each worker its
-/// own instance (the round loop and the multi-source eval each own one, and
-/// both run inside a single sweep-runner job).
+/// Reusable per-worker arena for the single-source CSR engine: the heap and
+/// settled buffers survive across calls, so a caller simulating many blocks
+/// allocates them once. Not thread-safe; give each worker its own instance.
+/// (The round loop and the multi-source eval run on the batched engine's
+/// `MultiSourceScratch` arena instead — this one serves the parity oracle
+/// and single-shot callers.)
 struct BroadcastScratch {
   std::vector<std::pair<double, net::NodeId>> heap;  ///< 4-ary (arrival, node)
   std::vector<std::uint8_t> settled;                 ///< per-node visited flag

@@ -1,0 +1,114 @@
+#include "sim/bucket_queue.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace perigee::sim {
+
+bool BucketQueue::viable(double min_delay, double max_reach) {
+  if (!(min_delay > 0.0) || !std::isfinite(min_delay)) return false;
+  if (!(max_reach >= 0.0) || !std::isfinite(max_reach)) return false;
+  // The widest correct width is min_delay / 2; the ring must hold every
+  // pending bucket, and pending keys span at most one relaxation reach
+  // past the current bucket.
+  return max_reach / (min_delay * 0.5) + 4.0 <
+         static_cast<double>(kPreferredBuckets);
+}
+
+double BucketQueue::preferred_width(double min_delay, double max_reach) {
+  double width = min_delay / kOccupancyDivisor;
+  const double floor = max_reach / static_cast<double>(kPreferredBuckets);
+  if (width < floor) width = floor;
+  // Never above the correctness ceiling (viable() guarantees the floor
+  // itself is below it).
+  return std::min(width, min_delay * 0.5);
+}
+
+void BucketQueue::reset(double width) {
+  PERIGEE_ASSERT(width > 0.0 && std::isfinite(width));
+  if (size_ != 0) {
+    for (std::size_t w = 0; w < occupied_.size(); ++w) {
+      std::uint64_t bits = occupied_[w];
+      while (bits != 0) {
+        const int b = std::countr_zero(bits);
+        bits &= bits - 1;
+        ring_[w * 64 + static_cast<std::size_t>(b)].clear();
+      }
+      occupied_[w] = 0;
+    }
+    size_ = 0;
+  }
+  width_ = width;
+  inv_width_ = 1.0 / width;
+  cur_ = 0;
+  cur_sorted_ = false;
+  if (ring_.empty()) grow(0);  // keeps the ring check out of push()
+}
+
+void BucketQueue::sort_bucket(std::vector<Entry>& bucket) {
+  // Only reached for buckets too large for pop()'s inline insertion sort.
+  std::sort(bucket.begin(), bucket.end(), greater);
+}
+
+void BucketQueue::push_sorted(std::vector<Entry>& bucket, Entry entry) {
+  bucket.insert(
+      std::upper_bound(bucket.begin(), bucket.end(), entry, greater), entry);
+}
+
+void BucketQueue::grow(std::uint64_t span_needed) {
+  std::size_t capacity = std::max<std::size_t>(mask_ + 1, 64);
+  while (capacity <= span_needed) capacity *= 2;
+  PERIGEE_ASSERT_MSG(capacity <= kMaxBuckets,
+                     "bucket queue span exceeds kMaxBuckets; the caller "
+                     "should have used BucketQueue::viable");
+  std::vector<std::vector<Entry>> fresh(capacity);
+  const std::uint64_t new_mask = capacity - 1;
+  // Remap live buckets: every entry of a slot shares one absolute bucket
+  // index (pending keys span < old capacity), recoverable from any key —
+  // except a clamped fp-slop entry in the active bucket, whose key maps one
+  // low; the max with cur_ restores the slot it was actually stored in.
+  for (auto& bucket : ring_) {
+    if (bucket.empty()) continue;
+    const std::uint64_t abs_bucket =
+        std::max(bucket_of(bucket.front().key), cur_);
+    fresh[abs_bucket & new_mask] = std::move(bucket);
+  }
+  ring_ = std::move(fresh);
+  mask_ = new_mask;
+  occupied_.assign(capacity / 64, 0);
+  for (std::uint64_t s = 0; s < capacity; ++s) {
+    if (!ring_[s].empty()) occupied_[s >> 6] |= std::uint64_t{1} << (s & 63);
+  }
+}
+
+void BucketQueue::advance_to_nonempty() {
+  // Scan the occupancy bitmap cyclically from cur_'s slot. Pending buckets
+  // span less than the ring capacity, so the first occupied slot in ring
+  // order is the smallest pending absolute bucket.
+  const std::uint64_t capacity = mask_ + 1;
+  const std::uint64_t start = cur_ & mask_;
+  std::uint64_t word = start >> 6;
+  std::uint64_t bits = occupied_[word] & (~std::uint64_t{0} << (start & 63));
+  std::uint64_t scanned = 0;
+  const std::uint64_t words = capacity / 64;
+  while (bits == 0) {
+    word = (word + 1) % words;
+    bits = occupied_[word];
+    scanned += 64;
+    PERIGEE_ASSERT_MSG(scanned <= capacity, "bitmap desync: size_ > 0 but "
+                                            "no occupied bucket");
+  }
+  const std::uint64_t s =
+      word * 64 + static_cast<std::uint64_t>(std::countr_zero(bits));
+  // Distance from cur_'s slot to s in ring order == absolute index delta.
+  const std::uint64_t delta = (s - start + capacity) & mask_;
+  if (delta != 0) {
+    cur_ += delta;
+    cur_sorted_ = false;
+  }
+}
+
+}  // namespace perigee::sim

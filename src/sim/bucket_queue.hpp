@@ -1,0 +1,179 @@
+/// \file
+/// \brief Monotone bucket queue (delta-stepping style) for the batched
+/// broadcast engine's Dijkstra relaxation.
+///
+/// A Dijkstra pass over a graph whose edge weights are all >= some δmin only
+/// ever inserts keys >= the key it last popped (each candidate is
+/// `settled arrival + validation + edge delay`). A bucket queue exploits that
+/// monotonicity: entries land in uniform-width buckets indexed by
+/// `floor(key / width)`, pops drain buckets in index order, and with
+/// `width <= δmin / 2` no insertion can ever land in a bucket that is already
+/// being drained — so a push is O(1) amortized instead of the 4-ary heap's
+/// O(log n) sift.
+///
+/// Unlike classic Dial/delta-stepping, the active bucket is sorted
+/// lexicographically by (key, node) before it is drained. Buckets are small
+/// (edge weights spread pushes across many buckets), so the sort is cheap,
+/// and it buys the property the engines' byte-parity contract is easiest to
+/// reason about with: **pop order is exactly
+/// `std::priority_queue<pair, greater<>>` order** for any monotone push
+/// sequence — `tests/sim_bucketq_test.cpp` asserts this equivalence
+/// directly, and the batched engine therefore settles nodes in exactly the
+/// reference engine's sequence.
+///
+/// The bucket array is a power-of-two ring over *absolute* bucket indices
+/// (slot = index & mask), valid because pending keys span less than the ring
+/// capacity; a bitmap over slots makes skipping empty buckets O(ring/64) in
+/// the worst case. Storage is reused across `reset()` calls, so a worker
+/// draining thousands of single-source passes performs no steady-state
+/// allocation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "net/types.hpp"
+
+namespace perigee::sim {
+
+class BucketQueue {
+ public:
+  /// One queued element: (arrival-time key, node).
+  struct Entry {
+    double key;
+    net::NodeId node;
+  };
+
+  /// Hard ring-size ceiling enforced by `grow`.
+  static constexpr std::uint64_t kMaxBuckets = std::uint64_t{1} << 20;
+  /// Ring size `preferred_width` steers towards (memory/scan sweet spot).
+  static constexpr std::uint64_t kPreferredBuckets = std::uint64_t{1} << 16;
+  /// Denominator of the default width min_delay / 16: several buckets per
+  /// smallest edge delay keeps buckets thin (~1–3 entries), so the active-
+  /// bucket sort stays negligible even when edge delays cluster.
+  static constexpr double kOccupancyDivisor = 16.0;
+
+  /// True when a graph with smallest edge delay `min_delay` and largest
+  /// single-relaxation key increase `max_reach` (max edge delay + max
+  /// validation) admits a correct width (<= min_delay / 2) whose ring stays
+  /// within `kPreferredBuckets`. False for zero/negative/non-finite delays —
+  /// those graphs use the heap path.
+  static bool viable(double min_delay, double max_reach);
+
+  /// The width the engine should run a `viable` graph at: min_delay / 16,
+  /// floored so the ring holds at most `kPreferredBuckets` buckets, capped
+  /// at the min_delay / 2 correctness ceiling.
+  static double preferred_width(double min_delay, double max_reach);
+
+  /// Empties the queue and sets the bucket width. Keeps previously grown
+  /// storage. `width` must be > 0 and finite; pair it with `viable` so the
+  /// span of keys reachable from one relaxation fits `kMaxBuckets`.
+  void reset(double width);
+
+  /// Pending entries (including not-yet-skipped duplicates).
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  /// The width `reset` installed.
+  double width() const { return width_; }
+
+  /// Inserts an entry. Contract (unchecked in the hot path): `reset` was
+  /// called at least once, and `key` is finite, >= 0, and >= the key of the
+  /// last `pop` (the Dijkstra monotonicity this queue is built for).
+  /// Inline: a sparse relaxation pushes a few thousand times per source, so
+  /// the O(1) body must not cost a call.
+  void push(double key, net::NodeId node) {
+    std::uint64_t bucket = bucket_of(key);
+    // Monotone contract gives bucket >= cur_ up to a sub-ulp rounding of
+    // key * inv_width_, which can map an equal key one bucket low; clamping
+    // preserves exact pop order (the key belongs among the current bucket's
+    // remainder either way).
+    if (bucket < cur_) bucket = cur_;
+    if (bucket - cur_ >= mask_ + 1) grow(bucket - cur_);
+    std::vector<Entry>& vec = slot(bucket);
+    if (vec.empty()) mark_occupied(bucket);
+    const Entry entry{key, node};
+    if (bucket == cur_ && cur_sorted_) {
+      // Rare (the engine's width margin makes it impossible there, see the
+      // file comment): keep the active bucket's descending order intact.
+      push_sorted(vec, entry);
+    } else {
+      vec.push_back(entry);
+    }
+    ++size_;
+  }
+
+  /// Removes and returns the lexicographically smallest (key, node) pending
+  /// entry. Precondition: `!empty()`.
+  Entry pop() {
+    std::vector<Entry>* vec = &slot(cur_);
+    if (vec->empty()) {
+      advance_to_nonempty();
+      vec = &slot(cur_);
+    }
+    if (!cur_sorted_) {
+      // Thin buckets are the norm (width is a fraction of the smallest
+      // edge delay): single-entry buckets skip sorting entirely, small
+      // ones insertion-sort inline (descending, so pops drain ascending
+      // from the back), the rest go out of line.
+      const std::size_t count = vec->size();
+      if (count > 1) {
+        if (count <= 16) {
+          Entry* data = vec->data();
+          for (std::size_t i = 1; i < count; ++i) {
+            const Entry e = data[i];
+            std::size_t j = i;
+            while (j > 0 && greater(e, data[j - 1])) {
+              data[j] = data[j - 1];
+              --j;
+            }
+            data[j] = e;
+          }
+        } else {
+          sort_bucket(*vec);
+        }
+      }
+      cur_sorted_ = true;
+    }
+    const Entry e = vec->back();
+    vec->pop_back();
+    --size_;
+    if (vec->empty()) mark_empty(cur_);
+    return e;
+  }
+
+ private:
+  /// Descending (key, node) order — the drain-from-back sort order.
+  static bool greater(const Entry& a, const Entry& b) {
+    return a.key != b.key ? a.key > b.key : a.node > b.node;
+  }
+  std::uint64_t bucket_of(double key) const {
+    return static_cast<std::uint64_t>(key * inv_width_);
+  }
+  std::vector<Entry>& slot(std::uint64_t bucket) {
+    return ring_[bucket & mask_];
+  }
+  void mark_occupied(std::uint64_t bucket) {
+    const std::uint64_t s = bucket & mask_;
+    occupied_[s >> 6] |= std::uint64_t{1} << (s & 63);
+  }
+  void mark_empty(std::uint64_t bucket) {
+    const std::uint64_t s = bucket & mask_;
+    occupied_[s >> 6] &= ~(std::uint64_t{1} << (s & 63));
+  }
+  static void sort_bucket(std::vector<Entry>& bucket);
+  static void push_sorted(std::vector<Entry>& bucket, Entry entry);
+  void grow(std::uint64_t span_needed);
+  void advance_to_nonempty();
+
+  double width_ = 1.0;
+  double inv_width_ = 1.0;
+  std::uint64_t cur_ = 0;    ///< absolute index of the bucket being drained
+  bool cur_sorted_ = false;  ///< true once `cur_`'s slot was sorted
+  std::size_t size_ = 0;
+  std::uint64_t mask_ = 0;  ///< ring capacity - 1 (capacity is a power of 2)
+  std::vector<std::vector<Entry>> ring_;
+  std::vector<std::uint64_t> occupied_;  ///< per-slot non-empty bitmap
+};
+
+}  // namespace perigee::sim

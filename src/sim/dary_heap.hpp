@@ -1,0 +1,63 @@
+/// \file
+/// \brief 4-ary min-heap over (key, node) pairs, shared by the single-source
+/// CSR engine and the batched engine's fallback path.
+///
+/// Ordered lexicographically — the same total order
+/// `std::priority_queue<pair, greater<>>` pops in, so every engine built on
+/// it settles nodes in exactly the reference engine's sequence. d=4 halves
+/// the tree height of a binary heap and keeps each child scan in one cache
+/// line, which pays off at the push-heavy workload of a sparse Dijkstra.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "net/types.hpp"
+
+namespace perigee::sim {
+
+inline constexpr std::size_t kHeapArity = 4;
+
+/// One heap element: (arrival-time key, node).
+using HeapItem = std::pair<double, net::NodeId>;
+
+/// Sift-up insertion.
+inline void heap_push(std::vector<HeapItem>& heap, HeapItem item) {
+  std::size_t i = heap.size();
+  heap.push_back(item);
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / kHeapArity;
+    if (!(item < heap[parent])) break;
+    heap[i] = heap[parent];
+    i = parent;
+  }
+  heap[i] = item;
+}
+
+/// Pops the lexicographic minimum. Precondition: `!heap.empty()`.
+inline HeapItem heap_pop(std::vector<HeapItem>& heap) {
+  const HeapItem top = heap.front();
+  const HeapItem last = heap.back();
+  heap.pop_back();
+  const std::size_t n = heap.size();
+  if (n == 0) return top;
+  std::size_t i = 0;
+  for (;;) {
+    const std::size_t first = i * kHeapArity + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t end = std::min(first + kHeapArity, n);
+    for (std::size_t c = first + 1; c < end; ++c) {
+      if (heap[c] < heap[best]) best = c;
+    }
+    if (!(heap[best] < last)) break;
+    heap[i] = heap[best];
+    i = best;
+  }
+  heap[i] = last;
+  return top;
+}
+
+}  // namespace perigee::sim

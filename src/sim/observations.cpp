@@ -60,8 +60,15 @@ void ObservationTable::record_block(const net::Topology& topology,
 
 void ObservationTable::record_block(const net::CsrTopology& csr,
                                     const BroadcastResult& result) {
+  record_block(csr, result.miner, result.ready);
+}
+
+void ObservationTable::record_block(const net::CsrTopology& csr,
+                                    net::NodeId miner,
+                                    std::span<const double> ready_times) {
   PERIGEE_ASSERT(blocks_recorded_ < blocks_per_round_);
   PERIGEE_ASSERT(nodes_.size() == csr.size());
+  PERIGEE_ASSERT(ready_times.size() == nodes_.size());
   const std::size_t b = blocks_recorded_;
   for (net::NodeId v = 0; v < nodes_.size(); ++v) {
     PerNode& pn = nodes_[v];
@@ -75,9 +82,8 @@ void ObservationTable::record_block(const net::CsrTopology& csr,
     double t_min = util::kInf;
     for (std::size_t i = 0; i < deg; ++i) {
       const net::NodeId u = pn.neighbors[i];
-      const double ready = result.ready[u];
-      const double t = (!csr.forwards(u) && u != result.miner) ||
-                               std::isinf(ready)
+      const double ready = ready_times[u];
+      const double t = (!csr.forwards(u) && u != miner) || std::isinf(ready)
                            ? util::kInf
                            : ready + delays[i];
       scratch_[i] = t;

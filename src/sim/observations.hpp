@@ -43,6 +43,13 @@ class ObservationTable {
   /// from the same topology captured by begin_round.
   void record_block(const net::CsrTopology& csr, const BroadcastResult& result);
 
+  /// Stripe form of the CSR fast path: consumes one source's slice of a
+  /// batched result (sim/batch.hpp) without copying it into a
+  /// `BroadcastResult`. The round loop records every block of a batch
+  /// through this.
+  void record_block(const net::CsrTopology& csr, net::NodeId miner,
+                    std::span<const double> ready);
+
   /// Message-level variant: one block's per-edge announcement times from the
   /// gossip engine (run with record_edge_times = true). Neighbors that never
   /// announced stay +inf. The paper's footnote 3: scoring can equally use

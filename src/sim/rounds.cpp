@@ -39,13 +39,28 @@ void RoundRunner::run_round() {
   // the update phase below, and the cache skips even this rebuild when no
   // selector rewired anything last round.
   const net::CsrTopology& csr = csr_cache_.get(*topology_, *network_);
-  for (int b = 0; b < blocks_per_round_; ++b) {
-    const auto miner = static_cast<net::NodeId>(sampler_.sample(miner_rng_));
-    if (engine_ == Engine::Fast) {
-      simulate_broadcast(csr, miner, scratch_, block_result_);
-      if (block_hook_) block_hook_(block_result_);
-      obs_.record_block(csr, block_result_);
-    } else {
+  if (engine_ == Engine::Fast) {
+    // Miner sampling is independent of the block simulations, so the whole
+    // round's miners are drawn up front (same draw sequence as the old
+    // per-block loop) and dispatched as one multi-source batch. Hooks and
+    // observation recording then replay the stripes in block order, which
+    // keeps every downstream byte identical at any worker count.
+    miners_.resize(static_cast<std::size_t>(blocks_per_round_));
+    for (auto& miner : miners_) {
+      miner = static_cast<net::NodeId>(sampler_.sample(miner_rng_));
+    }
+    simulate_broadcast_batch(csr, miners_, batch_scratch_, batch_result_,
+                             pool_);
+    for (std::size_t b = 0; b < miners_.size(); ++b) {
+      if (block_hook_) {
+        batch_result_.extract(b, block_result_);
+        block_hook_(block_result_);
+      }
+      obs_.record_block(csr, miners_[b], batch_result_.ready_of(b));
+    }
+  } else {
+    for (int b = 0; b < blocks_per_round_; ++b) {
+      const auto miner = static_cast<net::NodeId>(sampler_.sample(miner_rng_));
       GossipConfig config;
       config.mode = GossipConfig::Mode::InvGetdata;
       config.record_edge_times = true;

@@ -7,9 +7,12 @@
 ///
 /// The topology is static within a round, so the runner compiles one
 /// `net::CsrTopology` snapshot per round (via a `net::CsrCache` keyed on the
-/// topology's mutation counter) and runs all K block simulations on it with a
-/// reusable `BroadcastScratch` — the engine's steady state performs no
-/// allocation and no per-edge latency-model calls.
+/// topology's mutation counter), samples the round's miners up front, and
+/// dispatches all K blocks as one batch through the multi-source engine
+/// (sim/batch.hpp) over reusable arena scratch — the engine's steady state
+/// performs no allocation and no per-edge latency-model calls, and an
+/// optional `runner::ThreadPool` fans the round's blocks across workers
+/// without changing a single output byte.
 #pragma once
 
 #include <functional>
@@ -20,8 +23,13 @@
 #include "net/csr.hpp"
 #include "net/network.hpp"
 #include "net/topology.hpp"
+#include "sim/batch.hpp"
 #include "sim/observations.hpp"
 #include "sim/selector.hpp"
+
+namespace perigee::runner {
+class ThreadPool;
+}  // namespace perigee::runner
 
 namespace perigee::sim {
 
@@ -57,6 +65,19 @@ class RoundRunner {
 
   /// Rebuilds the miner sampler; call after mutating hash power mid-run.
   void refresh_hash_power();
+
+  /// The snapshot current for the live topology/network, served from the
+  /// runner's own cache. Checkpoint evaluations between rounds use this so
+  /// the compile is shared with the next round's `run_round` instead of
+  /// being paid twice for the same topology version.
+  const net::CsrTopology& current_csr() {
+    return csr_cache_.get(*topology_, *network_);
+  }
+
+  /// Fans each round's block batch across `pool` workers (borrowed; null
+  /// restores inline execution). Results are byte-identical at any worker
+  /// count, so this only changes wall-clock.
+  void set_thread_pool(runner::ThreadPool* pool) { pool_ = pool; }
 
   /// Resets node v's selector state (a churned-out node is replaced by a
   /// fresh participant with no learned history).
@@ -94,10 +115,13 @@ class RoundRunner {
   util::Rng miner_rng_;
   util::Rng update_rng_;
   ObservationTable obs_;
-  net::CsrCache csr_cache_;       // one compile per round (or fewer)
-  BroadcastScratch scratch_;      // reused across every block of the run
-  BroadcastResult block_result_;  // reused output buffer (Fast engine)
+  net::CsrCache csr_cache_;         // one compile per round (or fewer)
+  std::vector<net::NodeId> miners_; // the round's pre-sampled miner batch
+  MultiSourceScratch batch_scratch_;  // engine arena, reused across rounds
+  MultiSourceResult batch_result_;    // SoA stripes, reused across rounds
+  BroadcastResult block_result_;    // reused per-block shim for hooks
   std::size_t rounds_run_ = 0;
+  runner::ThreadPool* pool_ = nullptr;  // borrowed; null = inline blocks
   BlockHook block_hook_;
   PreRoundHook pre_round_hook_;
   net::AddrMan* addrman_ = nullptr;

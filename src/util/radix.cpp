@@ -1,0 +1,75 @@
+#include "util/radix.hpp"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <cstring>
+
+namespace perigee::util {
+namespace {
+
+std::uint64_t key_bits(const std::pair<double, double>& p) {
+  return std::bit_cast<std::uint64_t>(p.first);
+}
+
+}  // namespace
+
+void radix_sort_arrival_pairs(
+    std::vector<std::pair<double, double>>& pairs,
+    std::vector<std::pair<double, double>>& scratch) {
+  const std::size_t n = pairs.size();
+  // Comparison sort wins below this; the histogram setup is the overhead.
+  if (n < 96) {
+    std::sort(pairs.begin(), pairs.end());
+    return;
+  }
+  scratch.resize(n);
+
+  // One read pass fills all eight byte histograms.
+  std::array<std::array<std::uint32_t, 256>, 8> hist{};
+  for (const auto& p : pairs) {
+    const std::uint64_t k = key_bits(p);
+    for (std::size_t b = 0; b < 8; ++b) {
+      ++hist[b][(k >> (8 * b)) & 0xFF];
+    }
+  }
+
+  auto* src = &pairs;
+  auto* dst = &scratch;
+  for (std::size_t b = 0; b < 8; ++b) {
+    // Skip bytes every key agrees on — they cannot affect the order.
+    const std::uint64_t probe = key_bits((*src)[0]);
+    if (hist[b][(probe >> (8 * b)) & 0xFF] == n) continue;
+    std::array<std::uint32_t, 256> offset;
+    std::uint32_t sum = 0;
+    for (std::size_t bin = 0; bin < 256; ++bin) {
+      offset[bin] = sum;
+      sum += hist[b][bin];
+    }
+    for (const auto& p : *src) {
+      (*dst)[offset[(key_bits(p) >> (8 * b)) & 0xFF]++] = p;
+    }
+    std::swap(src, dst);
+  }
+  if (src != &pairs) pairs.swap(scratch);
+
+  // Stable LSD ordered by key only; equal-key runs still need their
+  // payload order (std::pair semantics). Runs are rare and short in
+  // continuous data — the exception, the +inf unreachable tail, is one run.
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i + 1;
+    while (j < n && key_bits(pairs[j]) == key_bits(pairs[i])) ++j;
+    if (j - i > 1) {
+      std::sort(pairs.begin() + static_cast<std::ptrdiff_t>(i),
+                pairs.begin() + static_cast<std::ptrdiff_t>(j),
+                [](const auto& a, const auto& b) {
+                  return a.second < b.second;
+                });
+    }
+    i = j;
+  }
+}
+
+}  // namespace perigee::util

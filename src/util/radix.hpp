@@ -1,0 +1,28 @@
+/// \file
+/// \brief Pass-skipping LSD radix sort for (non-negative double, double)
+/// pairs — the λ metric's (arrival, hash power) accumulation order.
+///
+/// Produces exactly the sequence `std::sort` produces on
+/// `std::pair<double, double>` (ascending first, then second), so callers
+/// switching from std::sort stay bit-identical: the coverage accumulation
+/// that follows adds the same doubles in the same order. Keys must be
+/// non-negative and non-NaN (+inf allowed) — for such doubles the IEEE-754
+/// bit pattern orders like the value, so the sort runs on the raw 8 key
+/// bytes, low to high, skipping any byte on which all keys agree (arrival
+/// times share sign/exponent bytes, so typically only 3–5 of the 8 passes
+/// survive). Equal-key runs are then ordered by payload; the only large run
+/// in practice is the +inf tail of unreachable nodes.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+namespace perigee::util {
+
+/// Sorts `pairs` ascending by (first, second). `scratch` is the ping-pong
+/// buffer, resized as needed and reusable across calls. Precondition: every
+/// `first` is non-negative and not NaN.
+void radix_sort_arrival_pairs(std::vector<std::pair<double, double>>& pairs,
+                              std::vector<std::pair<double, double>>& scratch);
+
+}  // namespace perigee::util

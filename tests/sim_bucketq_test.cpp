@@ -1,0 +1,181 @@
+// Property tests for the batched engine's monotone bucket queue: pops are
+// globally non-decreasing in (key, node), nothing is lost or duplicated,
+// and — the property the engines' byte-parity rests on — the pop sequence
+// is *exactly* std::priority_queue<pair, greater<>> order for any monotone
+// push/pop interleaving, including boundary keys, duplicates, and spans
+// that force the bucket ring to grow and remap.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "sim/bucket_queue.hpp"
+#include "util/rng.hpp"
+
+namespace perigee {
+namespace {
+
+using Item = std::pair<double, net::NodeId>;
+using MinHeap = std::priority_queue<Item, std::vector<Item>, std::greater<>>;
+
+// Drives the queue and the reference heap through one random monotone
+// workload: pushes stay >= the last popped key, interleaving is random.
+// Fills `popped` with the popped sequence; asserts pq equivalence along the
+// way (void so gtest fatal assertions are usable).
+void run_mirrored(sim::BucketQueue& queue, util::Rng& rng, double width,
+                  int ops, double max_step, std::vector<Item>& popped) {
+  queue.reset(width);
+  popped.clear();
+  MinHeap reference;
+  double last_pop = 0.0;
+  for (int i = 0; i < ops; ++i) {
+    const bool do_push = reference.empty() || rng.uniform() < 0.55;
+    if (do_push) {
+      // Keys cluster near the monotone frontier, with occasional exact
+      // bucket-boundary keys and exact duplicates of the last pop.
+      double key = last_pop + rng.uniform() * max_step;
+      const double r = rng.uniform();
+      if (r < 0.1) key = last_pop;  // duplicate frontier key
+      if (r >= 0.1 && r < 0.2) {
+        // Exact bucket boundary: multiples of width are the fp edge case.
+        key = width * static_cast<double>(static_cast<int>(key / width) + 1);
+      }
+      const auto node = static_cast<net::NodeId>(rng.uniform_index(64));
+      queue.push(key, node);
+      reference.emplace(key, node);
+    } else {
+      const auto [key, node] = reference.top();
+      reference.pop();
+      const sim::BucketQueue::Entry got = queue.pop();
+      ASSERT_EQ(got.key, key) << "op " << i;
+      ASSERT_EQ(got.node, node) << "op " << i;
+      popped.emplace_back(got.key, got.node);
+      last_pop = key;
+    }
+    ASSERT_EQ(queue.size(), reference.size()) << "op " << i;
+  }
+  while (!reference.empty()) {
+    const auto [key, node] = reference.top();
+    reference.pop();
+    const sim::BucketQueue::Entry got = queue.pop();
+    ASSERT_EQ(got.key, key);
+    ASSERT_EQ(got.node, node);
+    popped.emplace_back(got.key, got.node);
+  }
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(BucketQueue, EquivalentToPriorityQueueOnRandomMonotoneWorkloads) {
+  util::Rng rng(1);
+  sim::BucketQueue queue;  // deliberately reused across widths and seeds
+  std::vector<Item> popped;
+  for (const double width : {0.5, 1.0, 3.0, 0.01}) {
+    for (int round = 0; round < 8; ++round) {
+      run_mirrored(queue, rng, width, 400, width * 40.0, popped);
+    }
+  }
+}
+
+TEST(BucketQueue, PopsAreMonotoneNonDecreasing) {
+  util::Rng rng(2);
+  sim::BucketQueue queue;
+  std::vector<Item> popped;
+  run_mirrored(queue, rng, 2.0, 1200, 25.0, popped);
+  ASSERT_FALSE(popped.empty());
+  for (std::size_t i = 1; i < popped.size(); ++i) {
+    // Keys never decrease: the monotone contract. (Node ids may — a push
+    // at the frontier key with a smaller node id legally pops next.)
+    EXPECT_LE(popped[i - 1].first, popped[i].first) << "pop " << i;
+  }
+}
+
+TEST(BucketQueue, NoEntryLostOrDuplicated) {
+  util::Rng rng(3);
+  sim::BucketQueue queue;
+  queue.reset(1.0);
+  std::map<std::pair<double, net::NodeId>, int> pushed;
+  double frontier = 0.0;
+  for (int i = 0; i < 3000; ++i) {
+    const double key = frontier + rng.uniform() * 10.0;
+    const auto node = static_cast<net::NodeId>(rng.uniform_index(16));
+    queue.push(key, node);
+    ++pushed[{key, node}];
+    // Drain a little so the frontier moves and buckets recycle.
+    if (rng.uniform() < 0.3 && !queue.empty()) {
+      const auto e = queue.pop();
+      frontier = e.key;
+      --pushed[{e.key, e.node}];
+    }
+  }
+  while (!queue.empty()) {
+    const auto e = queue.pop();
+    --pushed[{e.key, e.node}];
+  }
+  for (const auto& [entry, count] : pushed) {
+    EXPECT_EQ(count, 0) << "key " << entry.first << " node " << entry.second;
+  }
+}
+
+TEST(BucketQueue, RingGrowthPreservesOrder) {
+  // Push a burst, then a key far enough ahead to force several doublings of
+  // the ring while earlier entries are still pending.
+  sim::BucketQueue queue;
+  queue.reset(1.0);
+  util::Rng rng(4);
+  MinHeap reference;
+  for (int i = 0; i < 50; ++i) {
+    const double key = rng.uniform() * 30.0;
+    queue.push(key, static_cast<net::NodeId>(i));
+    reference.emplace(key, static_cast<net::NodeId>(i));
+  }
+  for (const double far : {5000.0, 80000.0, 500000.0}) {
+    queue.push(far, 999);
+    reference.emplace(far, 999);
+  }
+  while (!reference.empty()) {
+    const auto [key, node] = reference.top();
+    reference.pop();
+    const auto got = queue.pop();
+    EXPECT_EQ(got.key, key);
+    EXPECT_EQ(got.node, node);
+  }
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(BucketQueue, ResetDiscardsPendingEntries) {
+  sim::BucketQueue queue;
+  queue.reset(1.0);
+  for (int i = 0; i < 100; ++i) {
+    queue.push(static_cast<double>(i) * 0.7, static_cast<net::NodeId>(i));
+  }
+  EXPECT_EQ(queue.size(), 100u);
+  queue.reset(0.25);
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(queue.width(), 0.25);
+  queue.push(3.0, 7);
+  const auto e = queue.pop();
+  EXPECT_EQ(e.key, 3.0);
+  EXPECT_EQ(e.node, 7u);
+}
+
+TEST(BucketQueue, ViabilityGuard) {
+  // Degenerate widths must be rejected so the engine falls back to the heap.
+  EXPECT_FALSE(sim::BucketQueue::viable(0.0, 100.0));
+  EXPECT_FALSE(sim::BucketQueue::viable(-1.0, 100.0));
+  EXPECT_FALSE(
+      sim::BucketQueue::viable(std::numeric_limits<double>::infinity(), 1.0));
+  EXPECT_FALSE(sim::BucketQueue::viable(
+      1.0, std::numeric_limits<double>::infinity()));
+  // A span needing more than kMaxBuckets buckets is out.
+  EXPECT_FALSE(sim::BucketQueue::viable(1e-9, 1e6));
+  // Ordinary simulation scales are comfortably in.
+  EXPECT_TRUE(sim::BucketQueue::viable(0.5, 5000.0));
+  EXPECT_TRUE(sim::BucketQueue::viable(6.0, 2000.0));
+}
+
+}  // namespace
+}  // namespace perigee

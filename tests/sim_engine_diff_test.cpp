@@ -1,0 +1,252 @@
+// Randomized differential harness over the three broadcast engines.
+//
+// ~200 seeded random topologies spanning every scenario regime the sweep
+// axes can produce — uniform (geo) and exponential-ish (euclidean) latency
+// substrates, heterogeneous bandwidth/validation tiers, geographically
+// clustered networks, adversarial withholding, churn-mutated graphs, infra
+// overlays, disconnected fragments — each asserting that
+//
+//      legacy Topology walk  ≡  single-source CSR  ≡  batched engine
+//
+// byte-for-byte on the arrival AND ready vectors (memcmp of the doubles, so
+// even a one-ulp divergence or a -0.0 fails). The legacy engine is the
+// oracle; the batched engine additionally runs both its bucket-queue fast
+// path and (where the graph forces it) the heap fallback, and once more
+// through a ThreadPool to pin the any-worker-count determinism contract.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "metrics/eval.hpp"
+#include "net/csr.hpp"
+#include "runner/thread_pool.hpp"
+#include "scenario/driver.hpp"
+#include "scenario/scenario.hpp"
+#include "sim/batch.hpp"
+#include "sim/broadcast.hpp"
+#include "topo/builders.hpp"
+#include "util/rng.hpp"
+
+namespace perigee {
+namespace {
+
+::testing::AssertionResult bytes_equal(std::span<const double> a,
+                                       std::span<const double> b) {
+  if (a.size() != b.size()) {
+    return ::testing::AssertionFailure()
+           << "size " << a.size() << " vs " << b.size();
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::memcmp(&a[i], &b[i], sizeof(double)) != 0) {
+      return ::testing::AssertionFailure()
+             << "first mismatch at index " << i << ": " << a[i] << " vs "
+             << b[i];
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+// One differential case: all three engines from a spread of miners, batched
+// engine both inline and across a 3-worker pool.
+void expect_three_engine_parity(const net::Topology& topology,
+                                const net::Network& network,
+                                const char* regime, std::uint64_t seed) {
+  SCOPED_TRACE(::testing::Message() << "regime=" << regime
+                                    << " seed=" << seed);
+  const net::CsrTopology csr = net::CsrTopology::build(topology, network);
+
+  // Miners: a handful spread over the id range (every node would be O(n^2)
+  // per case; the λ-parity test below still covers all-sources batches).
+  std::vector<net::NodeId> miners;
+  const auto n = static_cast<net::NodeId>(topology.size());
+  for (net::NodeId m = 0; m < n; m += std::max<net::NodeId>(1, n / 5)) {
+    miners.push_back(m);
+  }
+
+  sim::MultiSourceScratch scratch;
+  sim::MultiSourceResult batched;
+  sim::simulate_broadcast_batch(csr, miners, scratch, batched);
+
+  sim::MultiSourceResult pooled;
+  {
+    runner::ThreadPool pool(3);
+    sim::simulate_broadcast_batch(csr, miners, scratch, pooled, &pool);
+  }
+
+  sim::BroadcastScratch csr_scratch;
+  sim::BroadcastResult via_csr;
+  for (std::size_t s = 0; s < miners.size(); ++s) {
+    const sim::BroadcastResult legacy =
+        sim::simulate_broadcast(topology, network, miners[s]);
+    sim::simulate_broadcast(csr, miners[s], csr_scratch, via_csr);
+    SCOPED_TRACE(::testing::Message() << "miner=" << miners[s]);
+    EXPECT_TRUE(bytes_equal(via_csr.arrival, legacy.arrival));
+    EXPECT_TRUE(bytes_equal(via_csr.ready, legacy.ready));
+    EXPECT_TRUE(bytes_equal(batched.arrival_of(s), legacy.arrival));
+    EXPECT_TRUE(bytes_equal(batched.ready_of(s), legacy.ready));
+    EXPECT_TRUE(bytes_equal(pooled.arrival_of(s), batched.arrival_of(s)));
+    EXPECT_TRUE(bytes_equal(pooled.ready_of(s), batched.ready_of(s)));
+  }
+}
+
+net::Topology random_topology(std::size_t n, std::uint64_t seed) {
+  net::Topology topology(n);
+  util::Rng rng(seed);
+  topo::build_random(topology, rng);
+  return topology;
+}
+
+// 40 seeds x 5 regime families = 200 random topologies.
+constexpr std::uint64_t kSeeds = 40;
+
+TEST(EngineDiff, UniformGeoSubstrate) {
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    net::NetworkOptions options;
+    options.n = 40 + 7 * (seed % 11);
+    options.seed = seed;
+    const auto network = net::Network::build(options);
+    const auto topology = random_topology(options.n, seed);
+    expect_three_engine_parity(topology, network, "uniform-geo", seed);
+  }
+}
+
+TEST(EngineDiff, ExponentialEuclideanSubstrate) {
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    net::NetworkOptions options;
+    options.n = 40 + 5 * (seed % 13);
+    options.seed = seed * 31;
+    // Euclidean embedding: near-colocated pairs produce the tiny edge
+    // delays that stress the bucket width derivation; the validation draw
+    // spread plays the role of the exponential tail.
+    options.latency = net::NetworkOptions::LatencyKind::Euclidean;
+    options.validation_scale = seed % 3 == 0 ? 5.0 : 0.5;
+    const auto network = net::Network::build(options);
+    const auto topology = random_topology(options.n, seed * 31);
+    expect_three_engine_parity(topology, network, "exponential-euclidean",
+                               seed);
+  }
+}
+
+TEST(EngineDiff, ClusteredAndHeterogeneousScenarios) {
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    scenario::ScenarioSpec spec;
+    spec.geo.concentration = 0.5;
+    spec.hetero.profile = seed % 2 == 0 ? scenario::HeteroProfile::Bandwidth
+                                        : scenario::HeteroProfile::Datacenter;
+    net::NetworkOptions options;
+    options.n = 40 + 9 * (seed % 7);
+    options.seed = seed * 101;
+    scenario::adjust_network_options(options, spec);
+    auto network = net::Network::build(options);
+    scenario::apply_static_regimes(network, spec, seed * 101);
+    const auto topology = random_topology(options.n, seed * 101);
+    expect_three_engine_parity(topology, network, "clustered-hetero", seed);
+  }
+}
+
+TEST(EngineDiff, WithholdingAdversaries) {
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    scenario::ScenarioSpec spec;
+    spec.adversary.withhold_fraction = 0.25;
+    net::NetworkOptions options;
+    options.n = 40 + 6 * (seed % 9);
+    options.seed = seed * 7;
+    auto network = net::Network::build(options);
+    scenario::apply_static_regimes(network, spec, seed * 7);
+    const auto topology = random_topology(options.n, seed * 7);
+    expect_three_engine_parity(topology, network, "withholding", seed);
+  }
+}
+
+TEST(EngineDiff, ChurnMutatedTopologies) {
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    net::NetworkOptions options;
+    options.n = 50 + 4 * (seed % 8);
+    options.seed = seed * 13;
+    auto network = net::Network::build(options);
+    auto topology = random_topology(options.n, seed * 13);
+    scenario::ChurnRegime regime;
+    regime.rate = 0.1;
+    regime.start_round = 0;
+    regime.downtime_rounds = seed % 2 == 0 ? 0 : 2;
+    scenario::ChurnDriver driver(regime, topology, network, seed * 13);
+    for (std::size_t round = 0; round < 4; ++round) {
+      driver.before_round(round);
+    }
+    expect_three_engine_parity(topology, network, "churn-mutated", seed);
+  }
+}
+
+// Degenerate graphs: the shapes most likely to break an engine swap.
+TEST(EngineDiff, EdgeCases) {
+  net::NetworkOptions options;
+  options.n = 60;
+  options.seed = 5;
+  const auto network = net::Network::build(options);
+
+  // Zero-latency infra edge: min edge delay 0 forces the heap fallback.
+  {
+    auto topology = random_topology(60, 5);
+    // First pair not already wired by the random build.
+    net::NodeId other = 1;
+    while (!topology.add_infra_edge(0, other, 0.0)) ++other;
+    const auto csr = net::CsrTopology::build(topology, network);
+    EXPECT_EQ(csr.min_delay_ms(), 0.0);
+    expect_three_engine_parity(topology, network, "zero-infra", 5);
+  }
+  // Sub-propagation infra overlay (the relay-tree shape). Some spokes may
+  // already be p2p-adjacent to the hub; enough must attach to matter.
+  {
+    auto topology = random_topology(60, 5);
+    int added = 0;
+    for (net::NodeId v = 5; v < 50; v += 9) {
+      if (topology.add_infra_edge(1, v, 0.25)) ++added;
+    }
+    ASSERT_GE(added, 2);
+    expect_three_engine_parity(topology, network, "fast-infra", 5);
+  }
+  // Disconnected fragments: isolated nodes must stay +inf in all engines.
+  {
+    auto topology = random_topology(60, 5);
+    for (net::NodeId v = 52; v < 60; ++v) topology.disconnect_all(v);
+    expect_three_engine_parity(topology, network, "disconnected", 5);
+  }
+  // Edgeless graph: every engine degenerates to "miner only".
+  {
+    net::Topology topology(60);
+    expect_three_engine_parity(topology, network, "edgeless", 5);
+  }
+}
+
+// λ parity through the metrics batch entry point: the all-sources
+// evaluation (batched, inline and pooled) must equal the per-source
+// lambda_for_broadcast oracle bit for bit.
+TEST(EngineDiff, EvalAllSourcesMatchesPerSourceOracleAtAnyWorkerCount) {
+  for (std::uint64_t seed : {3u, 11u, 27u}) {
+    net::NetworkOptions options;
+    options.n = 80;
+    options.seed = seed;
+    const auto network = net::Network::build(options);
+    const auto topology = random_topology(options.n, seed);
+    const auto csr = net::CsrTopology::build(topology, network);
+
+    std::vector<double> oracle(network.size());
+    for (net::NodeId v = 0; v < network.size(); ++v) {
+      const auto result = sim::simulate_broadcast(topology, network, v);
+      oracle[v] = metrics::lambda_for_broadcast(result, network, 0.90);
+    }
+
+    const auto inline_eval = metrics::eval_all_sources(csr, network, 0.90);
+    EXPECT_TRUE(bytes_equal(inline_eval, oracle));
+
+    sim::MultiSourceScratch scratch;
+    runner::ThreadPool pool(3);
+    const auto pooled_eval =
+        metrics::eval_all_sources(csr, network, 0.90, &scratch, &pool);
+    EXPECT_TRUE(bytes_equal(pooled_eval, oracle));
+  }
+}
+
+}  // namespace
+}  // namespace perigee
