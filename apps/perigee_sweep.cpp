@@ -206,6 +206,10 @@ int main(int argc, char** argv) {
   flags.add_double("coverage", 0.90, "hash-power coverage for lambda");
   flags.add_int("jobs", 0, "worker threads (0 = all hardware threads)");
   flags.add_string("json", "", "output path (default BENCH_<name>.json)");
+  flags.add_bool("incremental-csr", true,
+                 "patch CSR snapshots from the topology mutation journal "
+                 "between rounds (--incremental-csr=false forces full "
+                 "recompiles; results are byte-identical either way)");
   if (!flags.parse(argc, argv)) return 1;
 
   if (flags.get_bool("list")) {
@@ -345,6 +349,9 @@ int main(int argc, char** argv) {
   }
   spec.base.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
   spec.base.coverage = flags.get_double("coverage");
+  // Wall-clock A/B switch, not a grid axis: cell results and the JSON are
+  // byte-identical at either setting.
+  spec.base.incremental_csr = flags.get_bool("incremental-csr");
   if (const auto& name = flags.get_string("name"); !name.empty()) {
     spec.name = name;
   }

@@ -71,30 +71,29 @@ inline bool write_json_if_requested(const util::Flags& flags,
                                     const std::vector<CurveSet>& sets) {
   const std::string& path = flags.get_string("json");
   if (path.empty()) return true;
-  std::ofstream os(path);
-  if (!os) {
-    std::cerr << "cannot write " << path << "\n";
-    return false;
-  }
-  runner::JsonWriter w(os);
-  w.begin_object();
-  w.field("title", title);
-  for (const CurveSet& set : sets) {
-    w.key(set.name);
-    w.begin_array();
-    for (const NamedCurve& c : *set.curves) {
-      w.begin_object();
-      w.field("name", c.name);
-      w.field("mean", c.curve.mean);
-      w.field("stddev", c.curve.stddev);
-      w.end_object();
+  // Temp-and-rename via write_file_atomic: an interrupted bench never
+  // leaves a truncated curve file for a plotting pipeline to choke on.
+  const bool ok = runner::write_file_atomic(path, [&](std::ostream& os) {
+    runner::JsonWriter w(os);
+    w.begin_object();
+    w.field("title", title);
+    for (const CurveSet& set : sets) {
+      w.key(set.name);
+      w.begin_array();
+      for (const NamedCurve& c : *set.curves) {
+        w.begin_object();
+        w.field("name", c.name);
+        w.field("mean", c.curve.mean);
+        w.field("stddev", c.curve.stddev);
+        w.end_object();
+      }
+      w.end_array();
     }
-    w.end_array();
-  }
-  w.end_object();
-  os << '\n';
-  if (!os.good()) {
-    std::cerr << "error writing " << path << "\n";
+    w.end_object();
+    os << '\n';
+  });
+  if (!ok) {
+    std::cerr << "cannot write " << path << "\n";
     return false;
   }
   std::cerr << "wrote " << path << "\n";

@@ -157,6 +157,116 @@ BENCHMARK(BM_BroadcastBatchRound)
     ->Arg(1000)
     ->Unit(benchmark::kMillisecond);
 
+// Per-round topology-refresh pairs recorded in BENCH_incremental_csr.json:
+// full flat-graph recompile vs the journal patch path, refresh isolated
+// (mutations run outside the clock).
+//
+// Two round shapes bracket the workload spectrum:
+//  - BM_CsrChurnRefresh*: a churn epoch at the default 2% rate — a few
+//    hundred journaled deltas at n=1000. This is the anchored pair: the
+//    acceptance bar at the fig3a grid size (n=1000) is >= 3x
+//    items_per_second, and it is the shape the scenario sweeps pay every
+//    round (topology mutation as the common case).
+//  - BM_CsrRoundRefresh*: the heaviest shape — EVERY node replaces 2 of its
+//    dout=8 out-edges (the subset selector's steady state), ~4n deltas, so
+//    the patch touches nearly every row and the win compresses toward the
+//    latency-resolution savings alone. Recorded alongside for transparency.
+void csr_round_refresh(benchmark::State& state, bool patching) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Fixture f(n);
+  net::CsrCache cache;
+  cache.set_patching(patching);
+  cache.get(f.topology, *f.network);
+  util::Rng rng(9);
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (net::NodeId v = 0; v < n; ++v) {
+      for (int r = 0; r < 2; ++r) {
+        const auto& out = f.topology.out(v);
+        if (out.empty()) break;
+        f.topology.disconnect(v, out[rng.uniform_index(out.size())]);
+      }
+      topo::dial_random_peers(f.topology, v, 2, rng);
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(&cache.get(f.topology, *f.network));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_CsrRoundRefreshRebuild(benchmark::State& state) {
+  csr_round_refresh(state, false);
+}
+BENCHMARK(BM_CsrRoundRefreshRebuild)->Arg(200)->Arg(1000);
+
+void BM_CsrRoundRefreshPatch(benchmark::State& state) {
+  csr_round_refresh(state, true);
+}
+BENCHMARK(BM_CsrRoundRefreshPatch)->Arg(200)->Arg(1000);
+
+void csr_churn_refresh(benchmark::State& state, bool patching) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Fixture f(n);
+  net::CsrCache cache;
+  cache.set_patching(patching);
+  cache.get(f.topology, *f.network);
+  scenario::ChurnRegime regime;
+  regime.rate = 0.02;
+  regime.start_round = 0;
+  scenario::ChurnDriver driver(regime, f.topology, *f.network, 7);
+  std::size_t round = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    driver.before_round(round++);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(&cache.get(f.topology, *f.network));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_CsrChurnRefreshRebuild(benchmark::State& state) {
+  csr_churn_refresh(state, false);
+}
+BENCHMARK(BM_CsrChurnRefreshRebuild)->Arg(200)->Arg(1000);
+
+void BM_CsrChurnRefreshPatch(benchmark::State& state) {
+  csr_churn_refresh(state, true);
+}
+BENCHMARK(BM_CsrChurnRefreshPatch)->Arg(200)->Arg(1000);
+
+// End-to-end round-loop wall-clock with the refresh folded in: the adaptive
+// subset round (|B| = 100 blocks + scoring + rewiring) with journal patching
+// vs forced recompiles — the "adaptive-sweep win" recorded alongside the
+// isolated refresh pair in BENCH_incremental_csr.json.
+void adaptive_round(benchmark::State& state, bool patching) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Fixture f(n);
+  sim::RoundRunner runner(
+      *f.network, f.topology,
+      core::make_selectors(n, core::Algorithm::PerigeeSubset), 100, 7);
+  runner.set_csr_patching(patching);
+  for (auto _ : state) {
+    runner.run_round();
+  }
+  state.SetItemsProcessed(state.iterations() * 100);  // blocks
+}
+
+void BM_AdaptiveRoundRebuild(benchmark::State& state) {
+  adaptive_round(state, false);
+}
+BENCHMARK(BM_AdaptiveRoundRebuild)
+    ->Arg(200)
+    ->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_AdaptiveRoundPatched(benchmark::State& state) {
+  adaptive_round(state, true);
+}
+BENCHMARK(BM_AdaptiveRoundPatched)
+    ->Arg(200)
+    ->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_GossipInv(benchmark::State& state) {
   Fixture f(static_cast<std::size_t>(state.range(0)));
   // Hoist the snapshot: this measures the event loop alone, as it did when

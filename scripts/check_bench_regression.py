@@ -5,11 +5,14 @@ BENCH_*.json anchor.
 The anchored quantity is a *speedup ratio* between a fast-path benchmark and
 its baseline (items_per_second of --fast-bench/N divided by
 --baseline-bench/N), which is largely machine-independent — comparing raw ns
-across CI runners would be noise. Two anchor pairs exist today:
+across CI runners would be noise. Three anchor pairs exist today:
 
-  BENCH_broadcast.json    broadcast_speedup     BM_BroadcastCsr / BM_Broadcast
-  BENCH_multi_source.json multi_source_speedup  BM_MultiSourceBatched /
-                                                BM_MultiSourcePerSourceCsr
+  BENCH_broadcast.json       broadcast_speedup      BM_BroadcastCsr /
+                                                    BM_Broadcast
+  BENCH_multi_source.json    multi_source_speedup   BM_MultiSourceBatched /
+                                                    BM_MultiSourcePerSourceCsr
+  BENCH_incremental_csr.json incremental_csr_speedup BM_CsrChurnRefreshPatch /
+                                                    BM_CsrChurnRefreshRebuild
 
 If the current ratio falls more than --max-regression below the anchor's
 ratio, a GitHub Actions ::warning:: annotation is emitted.

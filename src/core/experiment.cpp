@@ -169,6 +169,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
         config.message_level ? sim::RoundRunner::Engine::Gossip
                              : sim::RoundRunner::Engine::Fast);
     runner.set_thread_pool(engine_pool.get());
+    runner.set_csr_patching(config.incremental_csr);
 
     std::unique_ptr<net::AddrMan> addrman;
     if (config.partial_view) {
@@ -355,6 +356,7 @@ IncrementalResult run_incremental(const ExperimentConfig& config,
                           std::move(selectors), config.blocks_per_round,
                           config.seed);
   runner.set_thread_pool(engine_pool.get());
+  runner.set_csr_patching(config.incremental_csr);
   std::unique_ptr<scn::ChurnDriver> churn;
   if (config.scenario.churn.enabled()) {
     churn = std::make_unique<scn::ChurnDriver>(config.scenario.churn,

@@ -75,6 +75,14 @@ struct ExperimentConfig {
   // more workers than seeds.
   int engine_jobs = 1;
 
+  // Incremental CSR maintenance across the round loop: the runner's snapshot
+  // cache absorbs each round's rewiring by replaying the topology's mutation
+  // journal instead of recompiling the flat graph. Patched and recompiled
+  // snapshots are byte-identical (the differential harness pins this), so
+  // disabling it only changes wall-clock — kept as a switch for A/B
+  // measurement (BENCH_incremental_csr.json) and bisection.
+  bool incremental_csr = true;
+
   // Master seed: drives network construction, hash power, initial topology,
   // mining and exploration.
   std::uint64_t seed = 1;

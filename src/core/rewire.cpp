@@ -10,16 +10,25 @@ namespace perigee::core {
 int retain_and_explore(net::Topology& topology, net::NodeId v,
                        const std::vector<net::NodeId>& keep, util::Rng& rng,
                        const net::AddrMan* addrman) {
-  // Snapshot: disconnect mutates the outgoing list.
-  const std::vector<net::NodeId> current = topology.out(v);
-  for (net::NodeId u : keep) {
+  for (std::size_t i = 0; i < keep.size(); ++i) {
+    PERIGEE_ASSERT_MSG(topology.has_out(v, keep[i]),
+                       "retained peer is not a current outgoing neighbor");
+    // Duplicate-freeness is load-bearing for the equal-size skip below.
     PERIGEE_ASSERT_MSG(
-        std::find(current.begin(), current.end(), u) != current.end(),
-        "retained peer is not a current outgoing neighbor");
+        std::find(keep.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+                  keep.end(), keep[i]) == keep.end(),
+        "retained peer listed twice");
   }
-  for (net::NodeId u : current) {
-    if (std::find(keep.begin(), keep.end(), u) == keep.end()) {
-      topology.disconnect(v, u);
+  // keep is a duplicate-free subset of the outgoing list (asserted above),
+  // so equal sizes mean every neighbor is retained: skip the drop pass —
+  // no snapshot copy, no journaled deltas, no topology version bump.
+  if (keep.size() != topology.out(v).size()) {
+    // Snapshot: disconnect mutates the outgoing list.
+    const std::vector<net::NodeId> current = topology.out(v);
+    for (net::NodeId u : current) {
+      if (std::find(keep.begin(), keep.end(), u) == keep.end()) {
+        topology.disconnect(v, u);
+      }
     }
   }
   const int want = topology.limits().out_cap - topology.out_count(v);

@@ -84,6 +84,7 @@ double Network::edge_delay_from_link_ms(double link_ms, NodeId u,
 void Network::set_latency_model(std::unique_ptr<LatencyModel> model) {
   PERIGEE_ASSERT(model != nullptr);
   latency_ = std::move(model);
+  ++latency_version_;
 }
 
 std::unique_ptr<LatencyModel> Network::make_geo_model() const {

@@ -9,6 +9,7 @@
 /// (net/topology.hpp) so many topologies can be evaluated over one Network.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -82,8 +83,25 @@ class Network {
   const NodeProfile& profile(NodeId v) const { return (*profiles_)[v]; }
   /// All profiles, indexed by NodeId.
   const std::vector<NodeProfile>& profiles() const { return *profiles_; }
-  /// Mutable access for hash-power assignment and scenario setup.
-  std::vector<NodeProfile>& mutable_profiles() { return *profiles_; }
+  /// Mutable access for hash-power assignment and scenario setup. Every call
+  /// bumps `profile_version()`, so snapshot caches (net::CsrCache) notice
+  /// profile edits automatically; mutate through a fresh call per logical
+  /// update rather than a long-held reference.
+  std::vector<NodeProfile>& mutable_profiles() {
+    ++profile_version_;
+    return *profiles_;
+  }
+
+  /// Monotone counter bumped by every `mutable_profiles()` access.
+  /// `CsrCache` compares it to decide whether a compiled snapshot's cached
+  /// per-node attributes (forwards, Δv) and per-edge delays (which fold in
+  /// access latency and, with a transmission term, bandwidth) may be stale.
+  std::uint64_t profile_version() const { return profile_version_; }
+
+  /// Monotone counter bumped by every `set_latency_model()` swap. A snapshot
+  /// compiled under an older latency model froze the old per-edge delays and
+  /// must be rebuilt; `CsrCache` does so automatically.
+  std::uint64_t latency_version() const { return latency_version_; }
 
   /// One-way propagation latency of the (u, v) link in ms.
   double link_ms(NodeId u, NodeId v) const { return latency_->link_ms(u, v); }
@@ -108,8 +126,9 @@ class Network {
 
   /// Replaces the latency model, e.g. wrapping it in PairClassScaledModel for
   /// the Figure 4(b) mining-pool scenario. The replacement must be built over
-  /// this network's profiles. Invalidate any `CsrTopology` snapshots compiled
-  /// before the swap (they froze the old per-edge delays).
+  /// this network's profiles. Bumps `latency_version()`, so `CsrCache`
+  /// rebuilds snapshots compiled before the swap automatically (they froze
+  /// the old per-edge delays).
   void set_latency_model(std::unique_ptr<LatencyModel> model);
 
   /// Convenience for decorators: a GeoLatencyModel over this network's
@@ -125,6 +144,8 @@ class Network {
   std::shared_ptr<std::vector<NodeProfile>> profiles_;
   std::unique_ptr<LatencyModel> latency_;
   NetworkOptions options_;
+  std::uint64_t profile_version_ = 0;
+  std::uint64_t latency_version_ = 0;
 };
 
 }  // namespace perigee::net

@@ -25,7 +25,7 @@ bool Topology::connect(NodeId u, NodeId v) {
   out_[u].push_back(v);
   ++in_counts_[v];
   adj_add(u, v, -1.0);
-  ++version_;
+  journal_push(EdgeDelta{EdgeDelta::Kind::Connect, u, v, 0, 0, -1.0});
   return true;
 }
 
@@ -37,8 +37,9 @@ void Topology::disconnect(NodeId u, NodeId v) {
   list.erase(it);
   PERIGEE_ASSERT(in_counts_[v] > 0);
   --in_counts_[v];
-  adj_remove(u, v);
-  ++version_;
+  const auto [u_slot, v_slot] = adj_remove(u, v);
+  journal_push(
+      EdgeDelta{EdgeDelta::Kind::Disconnect, u, v, u_slot, v_slot, -1.0});
 }
 
 void Topology::disconnect_all(NodeId v) {
@@ -60,8 +61,45 @@ bool Topology::add_infra_edge(NodeId u, NodeId v, double latency_ms) {
   infra_[u].emplace_back(v, latency_ms);
   infra_[v].emplace_back(u, latency_ms);
   adj_add(u, v, latency_ms);
-  ++version_;
+  journal_push(EdgeDelta{EdgeDelta::Kind::InfraAdd, u, v, 0, 0, latency_ms});
   return true;
+}
+
+std::optional<std::span<const Topology::EdgeDelta>> Topology::deltas_since(
+    std::uint64_t since_version) const {
+  if (since_version < journal_base_ || since_version > version_) {
+    return std::nullopt;  // truncated away (or from the future): recompile
+  }
+  const auto skip = static_cast<std::size_t>(since_version - journal_base_);
+  return std::span<const EdgeDelta>(journal_.data() + skip,
+                                    journal_.size() - skip);
+}
+
+bool Topology::apply_delta(const EdgeDelta& delta) {
+  switch (delta.kind) {
+    case EdgeDelta::Kind::Connect:
+      return connect(delta.u, delta.v);
+    case EdgeDelta::Kind::Disconnect:
+      if (!has_out(delta.u, delta.v)) return false;
+      disconnect(delta.u, delta.v);
+      return true;
+    case EdgeDelta::Kind::InfraAdd:
+      return add_infra_edge(delta.u, delta.v, delta.infra_ms);
+  }
+  return false;
+}
+
+void Topology::journal_push(const EdgeDelta& delta) {
+  if (journal_.size() >= journal_capacity()) {
+    // Drop the oldest half in one amortized move; consumers whose snapshot
+    // predates the surviving window fall back to a full recompile.
+    const std::size_t half = journal_.size() / 2;
+    journal_.erase(journal_.begin(),
+                   journal_.begin() + static_cast<std::ptrdiff_t>(half));
+    journal_base_ += half;
+  }
+  journal_.push_back(delta);
+  ++version_;
 }
 
 bool Topology::has_out(NodeId u, NodeId v) const {
@@ -112,15 +150,19 @@ void Topology::adj_add(NodeId a, NodeId b, double infra_ms) {
   adj_[b].push_back(Link{a, infra_ms});
 }
 
-void Topology::adj_remove(NodeId a, NodeId b) {
+std::pair<std::uint32_t, std::uint32_t> Topology::adj_remove(NodeId a,
+                                                             NodeId b) {
   auto erase_one = [](std::vector<Link>& list, NodeId peer) {
     auto it = std::find_if(list.begin(), list.end(),
                            [peer](const Link& l) { return l.peer == peer; });
     PERIGEE_ASSERT(it != list.end());
+    const auto idx = static_cast<std::uint32_t>(it - list.begin());
     list.erase(it);
+    return idx;
   };
-  erase_one(adj_[a], b);
-  erase_one(adj_[b], a);
+  const std::uint32_t a_idx = erase_one(adj_[a], b);
+  const std::uint32_t b_idx = erase_one(adj_[b], a);
+  return {a_idx, b_idx};
 }
 
 void Topology::validate() const {

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -30,8 +31,11 @@ struct TopologyLimits {
 
 /// Mutable connection graph with degree caps and an infra overlay.
 ///
-/// Every mutation bumps `version()`, which `CsrCache` (net/csr.hpp) uses to
-/// invalidate compiled flat-graph snapshots on rewire.
+/// Every mutation bumps `version()` and appends a typed `EdgeDelta` to the
+/// mutation journal. `CsrCache` (net/csr.hpp) keys compiled flat-graph
+/// snapshots on the version counter and consumes the journal to patch a
+/// stale snapshot in place instead of recompiling the whole graph — a
+/// round's handful of edge replacements becomes a handful of slot writes.
 class Topology {
  public:
   /// One adjacency entry: a neighbor plus, for infra links, the latency
@@ -41,6 +45,29 @@ class Topology {
     double infra_ms;  ///< infra latency override; < 0 for p2p links
     /// True when this is an infrastructure (relay-overlay) link.
     bool is_infra() const { return infra_ms >= 0.0; }
+  };
+
+  /// One journal record: the mutation that took the graph from version k to
+  /// k + 1. Node join/leave and out-edge replacement are compositions of
+  /// these primitives (a churn departure journals one Disconnect per torn
+  /// edge, a rejoin one Connect per redial), so replaying a journal span onto
+  /// a snapshot of version k reproduces any later version exactly.
+  struct EdgeDelta {
+    enum class Kind : std::uint8_t {
+      Connect,     ///< directed p2p edge u -> v established
+      Disconnect,  ///< directed p2p edge u -> v torn down
+      InfraAdd,    ///< undirected infra link (u, v) with `infra_ms` installed
+    };
+    Kind kind;
+    NodeId u;
+    NodeId v;
+    /// Disconnect only: the adjacency-list index the (u, v) / (v, u) entry
+    /// occupied in `adjacency(u)` / `adjacency(v)` at erase time. Compiled
+    /// rows mirror adjacency order, so a journal consumer can erase by slot
+    /// instead of scanning the row for the peer. ~0 for other kinds.
+    std::uint32_t u_slot;
+    std::uint32_t v_slot;
+    double infra_ms;  ///< InfraAdd latency override; -1 for p2p deltas
   };
 
   explicit Topology(std::size_t n, TopologyLimits limits = {});
@@ -54,6 +81,29 @@ class Topology {
   /// disconnect / add_infra_edge. Snapshot consumers compare it to decide
   /// whether a compiled view (net::CsrTopology) is still current.
   std::uint64_t version() const { return version_; }
+
+  /// The journaled mutations that took the graph from `since_version` to
+  /// `version()`, oldest first — entry i is the delta that produced version
+  /// `since_version + i + 1`. Returns nullopt when the journal no longer
+  /// reaches back that far (it is capacity-bounded; see `journal_capacity`)
+  /// or `since_version` is ahead of the live graph — consumers must then
+  /// recompile from scratch. An up-to-date `since_version` yields an empty
+  /// span.
+  std::optional<std::span<const EdgeDelta>> deltas_since(
+      std::uint64_t since_version) const;
+
+  /// Journal retention bound: once more than this many deltas are pending,
+  /// the oldest half is dropped (consumers further behind than the surviving
+  /// window rebuild). Sized to hold several rounds of full-network rewiring
+  /// at the fig3a grid scale.
+  static constexpr std::size_t journal_capacity() { return 1u << 15; }
+
+  /// Replays one journaled delta onto this graph: Connect dials, Disconnect
+  /// tears down, InfraAdd installs. Returns false (changing nothing) when
+  /// the delta does not apply cleanly (edge missing / already present / caps
+  /// full), which cannot happen when replaying a journal span onto the exact
+  /// version it was recorded against.
+  bool apply_delta(const EdgeDelta& delta);
 
   /// Establishes the outgoing connection u -> v. Returns false (and changes
   /// nothing) if u == v, the pair is already adjacent in any direction or
@@ -108,7 +158,10 @@ class Topology {
 
  private:
   void adj_add(NodeId a, NodeId b, double infra_ms);
-  void adj_remove(NodeId a, NodeId b);
+  /// Erases the mirrored adjacency entries; returns the (a-side, b-side)
+  /// indices they occupied, which the Disconnect journal record carries.
+  std::pair<std::uint32_t, std::uint32_t> adj_remove(NodeId a, NodeId b);
+  void journal_push(const EdgeDelta& delta);
 
   TopologyLimits limits_;
   std::uint64_t version_ = 0;
@@ -116,6 +169,8 @@ class Topology {
   std::vector<int> in_counts_;
   std::vector<std::vector<Link>> adj_;     // union adjacency with metadata
   std::vector<std::vector<std::pair<NodeId, double>>> infra_;
+  std::vector<EdgeDelta> journal_;  // deltas for versions (base_, version_]
+  std::uint64_t journal_base_ = 0;  // version journal_[0] was recorded at
 };
 
 }  // namespace perigee::net

@@ -4,6 +4,7 @@
 #include <charconv>
 #include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <stdexcept>
 
 #include "util/assert.hpp"
@@ -89,6 +90,37 @@ std::string format_double(double v) {
   const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, v);
   PERIGEE_ASSERT(ec == std::errc());
   return std::string(buf, ptr);
+}
+
+bool write_file_atomic(const std::string& path,
+                       const std::function<void(std::ostream&)>& produce) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os) return false;
+    try {
+      produce(os);
+    } catch (...) {
+      // A throwing producer must not leak the staging file (or clobber an
+      // intact previous result, which the early return already guarantees).
+      os.close();
+      std::remove(tmp.c_str());
+      throw;
+    }
+    os.flush();
+    if (!os.good()) {
+      os.close();
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  // POSIX rename replaces an existing `path` atomically: readers see either
+  // the complete old file or the complete new one, never a torn write.
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
 }
 
 void JsonWriter::value(double v) {

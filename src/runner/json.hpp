@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <ostream>
 #include <string>
 #include <string_view>
@@ -64,6 +65,15 @@ class JsonWriter {
 
 // Formats a double exactly as JsonWriter does (shortest round-trip form).
 std::string format_double(double v);
+
+// Crash-safe file write: streams `produce(os)` into `path + ".tmp"`, flushes,
+// and atomically renames over `path` — an interrupted run (SIGKILL, full
+// disk, crash mid-serialization) can never leave a truncated or unparsable
+// file at the final path; at worst a stale `.tmp` remains next to the intact
+// previous result. Returns false (removing the temp file, leaving any
+// existing `path` untouched) when the stream errors or the rename fails.
+bool write_file_atomic(const std::string& path,
+                       const std::function<void(std::ostream&)>& produce);
 
 // Parsed JSON document. Object member order is preserved.
 struct JsonValue {

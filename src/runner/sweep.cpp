@@ -1,7 +1,6 @@
 #include "runner/sweep.hpp"
 
 #include <atomic>
-#include <fstream>
 #include <functional>
 #include <string>
 #include <utility>
@@ -244,10 +243,11 @@ void write_json(std::ostream& os, const SweepSpec& spec,
 
 bool write_json_file(const std::string& path, const SweepSpec& spec,
                      const SweepResult& result) {
-  std::ofstream os(path);
-  if (!os) return false;
-  write_json(os, spec, result);
-  return os.good();
+  // Atomic temp-and-rename: a sweep interrupted mid-write (hours of cells
+  // already computed elsewhere, ctrl-C, OOM kill) never leaves a truncated
+  // results file where downstream tooling expects parsable JSON.
+  return write_file_atomic(
+      path, [&](std::ostream& os) { write_json(os, spec, result); });
 }
 
 std::string default_json_path(const SweepSpec& spec) {

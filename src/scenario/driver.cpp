@@ -55,14 +55,20 @@ bool ChurnDriver::before_round(std::size_t round_index) {
   const bool epoch_boundary = round_index % rounds_per_epoch_ == 0;
   const auto epoch =
       static_cast<std::int64_t>(round_index / rounds_per_epoch_);
-  auto& profiles = network_->mutable_profiles();
   const std::size_t n = topology_->size();
+  // Profiles are fetched only when a mutation actually lands: every
+  // mutable_profiles() access bumps the network's profile version, and quiet
+  // rounds must leave it untouched so the round loop's CsrCache keeps its
+  // snapshot without even a per-node recheck.
+  const auto profiles = [this]() -> std::vector<net::NodeProfile>& {
+    return network_->mutable_profiles();
+  };
 
   // 1. Downtime elapsed: restore hash power and rejoin.
   if (epoch_boundary) {
     for (net::NodeId v = 0; v < n; ++v) {
       if (down_until_[v] < 0 || down_until_[v] > epoch) continue;
-      profiles[v].hash_power = stashed_hash_[v];
+      profiles()[v].hash_power = stashed_hash_[v];
       stashed_hash_[v] = 0.0;
       down_until_[v] = -1;
       hash_changed = true;
@@ -94,8 +100,8 @@ bool ChurnDriver::before_round(std::size_t round_index) {
     if (regime_.downtime_rounds == 0) {
       rejoin(v);  // reset churn: leave + instant rejoin as a fresh node
     } else {
-      stashed_hash_[v] = profiles[v].hash_power;
-      profiles[v].hash_power = 0.0;
+      stashed_hash_[v] = profiles()[v].hash_power;
+      profiles()[v].hash_power = 0.0;
       down_until_[v] = epoch + regime_.downtime_rounds;
       hash_changed = true;
     }

@@ -54,6 +54,7 @@ void solve_one(const net::CsrTopology& csr, const BatchPlan& plan,
   arrival[src] = 0.0;
 
   const std::size_t* offsets = csr.offsets();
+  const std::size_t* row_ends = csr.row_ends();
   const net::NodeId* peers = csr.peer_data();
   const double* delays = csr.delay_data();
 
@@ -66,7 +67,7 @@ void solve_one(const net::CsrTopology& csr, const BatchPlan& plan,
       if (t != arrival[u]) continue;  // stale: u settled at a smaller key
       if (!csr.forwards(u) && u != src) continue;
       const double ready_u = u == src ? 0.0 : t + csr.validation_ms(u);
-      const std::size_t row_end = offsets[u + 1];
+      const std::size_t row_end = row_ends[u];
       for (std::size_t e = offsets[u]; e < row_end; ++e) {
         const net::NodeId v = peers[e];
         const double cand = ready_u + delays[e];
@@ -85,7 +86,7 @@ void solve_one(const net::CsrTopology& csr, const BatchPlan& plan,
       if (t != arrival[u]) continue;  // stale: u settled at a smaller key
       if (!csr.forwards(u) && u != src) continue;
       const double ready_u = u == src ? 0.0 : t + csr.validation_ms(u);
-      const std::size_t row_end = offsets[u + 1];
+      const std::size_t row_end = row_ends[u];
       for (std::size_t e = offsets[u]; e < row_end; ++e) {
         const net::NodeId v = peers[e];
         const double cand = ready_u + delays[e];

@@ -73,6 +73,7 @@ void simulate_broadcast(const net::CsrTopology& csr, net::NodeId miner,
   heap_push(scratch.heap, {0.0, miner});
 
   const std::size_t* offsets = csr.offsets();
+  const std::size_t* row_ends = csr.row_ends();
   const net::NodeId* peers = csr.peer_data();
   const double* delays = csr.delay_data();
 
@@ -82,7 +83,7 @@ void simulate_broadcast(const net::CsrTopology& csr, net::NodeId miner,
     scratch.settled[u] = 1;
     if (!csr.forwards(u) && u != miner) continue;
     const double ready = result.ready[u];
-    const std::size_t row_end = offsets[u + 1];
+    const std::size_t row_end = row_ends[u];
     for (std::size_t e = offsets[u]; e < row_end; ++e) {
       const net::NodeId v = peers[e];
       if (scratch.settled[v]) continue;

@@ -35,9 +35,10 @@ void RoundRunner::run_round() {
   // capture and the CSR compile, so the whole round sees the mutated graph.
   if (pre_round_hook_) pre_round_hook_(rounds_run_);
   obs_.begin_round(*topology_, static_cast<std::size_t>(blocks_per_round_));
-  // One flat-graph compile for the whole round: the topology only mutates in
-  // the update phase below, and the cache skips even this rebuild when no
-  // selector rewired anything last round.
+  // One flat-graph refresh for the whole round: the topology only mutates in
+  // the update phase below, so the cache replays last round's mutation
+  // journal onto the standing snapshot (a full recompile only on mass churn
+  // or journal truncation) and is free when nothing rewired at all.
   const net::CsrTopology& csr = csr_cache_.get(*topology_, *network_);
   if (engine_ == Engine::Fast) {
     // Miner sampling is independent of the block simulations, so the whole

@@ -5,9 +5,12 @@
 /// every node's observations, then executes the synchronous connection update
 /// at all nodes in a freshly shuffled order.
 ///
-/// The topology is static within a round, so the runner compiles one
+/// The topology is static within a round, so the runner refreshes one
 /// `net::CsrTopology` snapshot per round (via a `net::CsrCache` keyed on the
-/// topology's mutation counter), samples the round's miners up front, and
+/// topology's mutation counter — between rounds the cache replays the
+/// topology's mutation journal onto the snapshot instead of recompiling,
+/// so a round's rewiring costs O(changed edges), not O(n + m)), samples the
+/// round's miners up front, and
 /// dispatches all K blocks as one batch through the multi-source engine
 /// (sim/batch.hpp) over reusable arena scratch — the engine's steady state
 /// performs no allocation and no per-edge latency-model calls, and an
@@ -78,6 +81,13 @@ class RoundRunner {
   /// restores inline execution). Results are byte-identical at any worker
   /// count, so this only changes wall-clock.
   void set_thread_pool(runner::ThreadPool* pool) { pool_ = pool; }
+
+  /// Disables (or re-enables) the incremental journal-patch path of the
+  /// runner's CSR cache: with `enabled` false every rewired round pays a
+  /// full flat-graph recompile, the pre-journal behavior. Patched and
+  /// recompiled snapshots are byte-identical, so this only changes
+  /// wall-clock; the differential harness A/Bs the two paths with it.
+  void set_csr_patching(bool enabled) { csr_cache_.set_patching(enabled); }
 
   /// Resets node v's selector state (a churned-out node is replaced by a
   /// fresh participant with no learned history).

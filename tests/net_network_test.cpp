@@ -176,5 +176,45 @@ TEST(Network, MoveKeepsLatencyModelValid) {
   EXPECT_DOUBLE_EQ(b.link_ms(2, 3), before);
 }
 
+TEST(Network, ProfileVersionBumpsOnEveryMutableAccess) {
+  NetworkOptions options;
+  options.n = 10;
+  Network network = Network::build(options);
+  const std::uint64_t v0 = network.profile_version();
+  network.mutable_profiles()[0].hash_power = 0.5;
+  EXPECT_EQ(network.profile_version(), v0 + 1);
+  network.mutable_profiles()[1].forwards = false;
+  EXPECT_EQ(network.profile_version(), v0 + 2);
+  // Const access never bumps.
+  (void)network.profiles();
+  (void)network.profile(0);
+  EXPECT_EQ(network.profile_version(), v0 + 2);
+}
+
+TEST(Network, LatencyVersionBumpsOnModelSwapOnly) {
+  NetworkOptions options;
+  options.n = 10;
+  Network network = Network::build(options);
+  const std::uint64_t v0 = network.latency_version();
+  (void)network.link_ms(0, 1);
+  (void)network.mutable_profiles();
+  EXPECT_EQ(network.latency_version(), v0);
+  network.set_latency_model(network.make_geo_model());
+  EXPECT_EQ(network.latency_version(), v0 + 1);
+}
+
+TEST(Network, VersionCountersSurviveMove) {
+  NetworkOptions options;
+  options.n = 10;
+  Network a = Network::build(options);
+  a.mutable_profiles()[0].forwards = false;
+  a.set_latency_model(a.make_geo_model());
+  const std::uint64_t pv = a.profile_version();
+  const std::uint64_t lv = a.latency_version();
+  const Network b = std::move(a);
+  EXPECT_EQ(b.profile_version(), pv);
+  EXPECT_EQ(b.latency_version(), lv);
+}
+
 }  // namespace
 }  // namespace perigee::net

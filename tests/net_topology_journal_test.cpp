@@ -1,0 +1,186 @@
+// Property tests for the Topology mutation journal: any recorded delta
+// sequence, replayed onto a pristine copy of the starting graph, must
+// reproduce the mutated original structurally — out-edge lists, full
+// adjacency (order included, since CSR patching relies on it), in-counts and
+// infra overlays. Mutation storms mix rewiring, churn-style join/leave,
+// infra installs and no-op rejections; truncation and replay-window
+// semantics are pinned separately.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "net/topology.hpp"
+#include "topo/builders.hpp"
+#include "util/rng.hpp"
+
+namespace perigee {
+namespace {
+
+using net::Topology;
+
+// Structural equality through the public API, order-sensitive: the CSR patch
+// path mirrors the adjacency-list order, so replay must reproduce it exactly,
+// not just as a set.
+void expect_structurally_equal(const Topology& a, const Topology& b) {
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.num_p2p_edges(), b.num_p2p_edges());
+  for (net::NodeId v = 0; v < a.size(); ++v) {
+    EXPECT_EQ(a.out(v), b.out(v)) << "out list of node " << v;
+    EXPECT_EQ(a.in_count(v), b.in_count(v)) << "in count of node " << v;
+    const auto& aa = a.adjacency(v);
+    const auto& ba = b.adjacency(v);
+    ASSERT_EQ(aa.size(), ba.size()) << "adjacency size of node " << v;
+    for (std::size_t i = 0; i < aa.size(); ++i) {
+      EXPECT_EQ(aa[i].peer, ba[i].peer) << "node " << v << " slot " << i;
+      EXPECT_EQ(aa[i].infra_ms, ba[i].infra_ms)
+          << "node " << v << " slot " << i;
+    }
+  }
+  EXPECT_EQ(a.infra_edges(), b.infra_edges());
+}
+
+// Replays the journal span of `mutated` since `since_version` onto `pristine`
+// and asserts equality.
+void expect_replay_matches(const Topology& pristine, const Topology& mutated,
+                           std::uint64_t since_version) {
+  const auto deltas = mutated.deltas_since(since_version);
+  ASSERT_TRUE(deltas.has_value());
+  Topology replayed = pristine;
+  for (const auto& d : *deltas) {
+    EXPECT_TRUE(replayed.apply_delta(d))
+        << "delta did not apply cleanly during replay";
+  }
+  EXPECT_EQ(replayed.version(), mutated.version());
+  expect_structurally_equal(replayed, mutated);
+}
+
+// Random mutation storm: rewiring (disconnect + redial), churn leave
+// (disconnect_all) and rejoin, occasional infra installs, plus rejected
+// operations (which must journal nothing).
+void mutation_storm(Topology& topology, util::Rng& rng, int ops) {
+  const auto n = static_cast<net::NodeId>(topology.size());
+  for (int op = 0; op < ops; ++op) {
+    const auto v = static_cast<net::NodeId>(rng.uniform_index(n));
+    switch (rng.uniform_index(8)) {
+      case 0:  // churn leave: tear down everything touching v
+        topology.disconnect_all(v);
+        break;
+      case 1:  // churn rejoin / exploration: dial fresh random peers
+        topo::dial_random_peers(topology, v, topology.limits().out_cap, rng);
+        break;
+      case 2: {  // infra install (usually rejected once adjacent)
+        const auto u = static_cast<net::NodeId>(rng.uniform_index(n));
+        if (u != v) topology.add_infra_edge(v, u, rng.uniform(0.0, 5.0));
+        break;
+      }
+      default: {  // out-edge replace, the round loop's common delta
+        const auto& out = topology.out(v);
+        if (!out.empty()) {
+          topology.disconnect(
+              v, out[rng.uniform_index(out.size())]);
+        }
+        topo::dial_random_peers(topology, v, 1, rng);
+        break;
+      }
+    }
+  }
+}
+
+TEST(TopologyJournal, ReplayFromEmptyReproducesAnyMutationSequence) {
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    const std::size_t n = 20 + 5 * (seed % 7);
+    Topology topology(n);
+    const Topology pristine = topology;  // version 0, empty journal
+    util::Rng rng(seed);
+    topo::build_random(topology, rng);
+    mutation_storm(topology, rng, 120);
+    topology.validate();
+    expect_replay_matches(pristine, topology, 0);
+  }
+}
+
+TEST(TopologyJournal, ReplayFromMidpointSnapshotReproducesSuffix) {
+  for (std::uint64_t seed = 100; seed <= 110; ++seed) {
+    Topology topology(40);
+    util::Rng rng(seed);
+    topo::build_random(topology, rng);
+    mutation_storm(topology, rng, 60);
+    // Snapshot mid-history: replay must only need the journal suffix.
+    const Topology snapshot = topology;
+    const std::uint64_t at = topology.version();
+    mutation_storm(topology, rng, 90);
+    topology.validate();
+    expect_replay_matches(snapshot, topology, at);
+  }
+}
+
+TEST(TopologyJournal, RejectedMutationsJournalNothing) {
+  Topology topology(6);
+  ASSERT_TRUE(topology.connect(0, 1));
+  const std::uint64_t v1 = topology.version();
+  // All rejected: self-loop, duplicate, reverse of existing, infra over p2p.
+  EXPECT_FALSE(topology.connect(0, 0));
+  EXPECT_FALSE(topology.connect(0, 1));
+  EXPECT_FALSE(topology.connect(1, 0));
+  EXPECT_FALSE(topology.add_infra_edge(0, 1, 2.0));
+  EXPECT_EQ(topology.version(), v1);
+  const auto deltas = topology.deltas_since(v1);
+  ASSERT_TRUE(deltas.has_value());
+  EXPECT_TRUE(deltas->empty());
+}
+
+TEST(TopologyJournal, DeltasSinceSemantics) {
+  Topology topology(8);
+  ASSERT_TRUE(topology.connect(0, 1));
+  ASSERT_TRUE(topology.connect(1, 2));
+  topology.disconnect(0, 1);
+  ASSERT_TRUE(topology.add_infra_edge(3, 4, 1.5));
+  ASSERT_EQ(topology.version(), 4u);
+
+  const auto all = topology.deltas_since(0);
+  ASSERT_TRUE(all.has_value());
+  ASSERT_EQ(all->size(), 4u);
+  using Kind = Topology::EdgeDelta::Kind;
+  EXPECT_EQ((*all)[0].kind, Kind::Connect);
+  EXPECT_EQ((*all)[0].u, 0u);
+  EXPECT_EQ((*all)[0].v, 1u);
+  EXPECT_EQ((*all)[2].kind, Kind::Disconnect);
+  EXPECT_EQ((*all)[3].kind, Kind::InfraAdd);
+  EXPECT_EQ((*all)[3].infra_ms, 1.5);
+
+  const auto tail = topology.deltas_since(3);
+  ASSERT_TRUE(tail.has_value());
+  ASSERT_EQ(tail->size(), 1u);
+  EXPECT_EQ((*tail)[0].kind, Kind::InfraAdd);
+
+  const auto none = topology.deltas_since(4);
+  ASSERT_TRUE(none.has_value());
+  EXPECT_TRUE(none->empty());
+
+  // A version from the future cannot be served.
+  EXPECT_FALSE(topology.deltas_since(5).has_value());
+}
+
+TEST(TopologyJournal, TruncationDropsOldWindowButKeepsRecentReplayable) {
+  Topology topology(30);
+  util::Rng rng(7);
+  topo::build_random(topology, rng);
+  const std::uint64_t early = topology.version();
+  // Push well past capacity so the compaction (drop-oldest-half) runs.
+  const auto target =
+      static_cast<std::uint64_t>(Topology::journal_capacity()) + early + 512;
+  while (topology.version() < target) {
+    mutation_storm(topology, rng, 200);
+  }
+  // The pre-storm version fell out of the retained window...
+  EXPECT_FALSE(topology.deltas_since(early).has_value());
+  // ...but a recent snapshot still replays exactly.
+  const Topology snapshot = topology;
+  const std::uint64_t at = topology.version();
+  mutation_storm(topology, rng, 50);
+  expect_replay_matches(snapshot, topology, at);
+}
+
+}  // namespace
+}  // namespace perigee

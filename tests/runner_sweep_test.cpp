@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include "runner/json.hpp"
@@ -184,6 +186,70 @@ TEST(JsonParser, ParsesNumbers) {
   EXPECT_DOUBLE_EQ(doc.items[1].number, 0.0);
   EXPECT_DOUBLE_EQ(doc.items[2].number, 42.0);
   EXPECT_DOUBLE_EQ(doc.items[3].number, 0.125);
+}
+
+TEST(AtomicWrite, WritesParseableFileAndLeavesNoTemp) {
+  const std::string path =
+      ::testing::TempDir() + "perigee_atomic_write_test.json";
+  std::remove(path.c_str());
+  EXPECT_TRUE(write_file_atomic(path, [](std::ostream& os) {
+    os << "{\"ok\": true}\n";
+  }));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream content;
+  content << in.rdbuf();
+  EXPECT_TRUE(JsonValue::parse(content.str()).find("ok")->boolean);
+  // The staging file must be gone after the rename.
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+  std::remove(path.c_str());
+}
+
+TEST(AtomicWrite, KeepsPreviousFileIntactWhenProducerFails) {
+  const std::string path =
+      ::testing::TempDir() + "perigee_atomic_keep_test.json";
+  ASSERT_TRUE(write_file_atomic(
+      path, [](std::ostream& os) { os << "{\"generation\": 1}\n"; }));
+  // A failing rewrite (stream pushed into an error state mid-production,
+  // the moral equivalent of a full disk) must not touch the existing file.
+  EXPECT_FALSE(write_file_atomic(path, [](std::ostream& os) {
+    os << "{\"generation\": 2, truncated";
+    os.setstate(std::ios::failbit);
+  }));
+  std::ifstream in(path);
+  std::stringstream content;
+  content << in.rdbuf();
+  EXPECT_EQ(JsonValue::parse(content.str()).find("generation")->number, 1.0);
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+  std::remove(path.c_str());
+}
+
+TEST(AtomicWrite, FailsCleanlyOnUnwritablePath) {
+  EXPECT_FALSE(write_file_atomic(
+      "/nonexistent-perigee-dir/out.json",
+      [](std::ostream& os) { os << "{}"; }));
+}
+
+TEST(AtomicWrite, SweepResultsLandAtomically) {
+  SweepSpec spec;
+  spec.name = "atomic";
+  spec.base.net.n = 24;
+  spec.base.rounds = 0;
+  spec.base.algorithm = core::Algorithm::Random;
+  spec.seeds = 1;
+  const SweepRunner runner(1);
+  const SweepResult result = runner.run(spec, nullptr);
+  const std::string path =
+      ::testing::TempDir() + "perigee_atomic_sweep_test.json";
+  ASSERT_TRUE(write_json_file(path, spec, result));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream content;
+  content << in.rdbuf();
+  const JsonValue doc = JsonValue::parse(content.str());
+  EXPECT_EQ(doc.find("name")->string, "atomic");
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -304,8 +304,8 @@ TEST(CsrParity, CacheRebuildsOnRewireOnly) {
   // No mutation: same snapshot object, no rebuild.
   EXPECT_EQ(&cache.get(topology, network), first);
 
-  // A rewire bumps the version and forces a rebuild that reflects the new
-  // adjacency.
+  // A rewire bumps the version and forces a refresh (journal patch or
+  // rebuild) that reflects the new adjacency.
   const net::NodeId dialer = 0;
   ASSERT_FALSE(topology.out(dialer).empty());
   const net::NodeId old_peer = topology.out(dialer).front();
@@ -319,6 +319,83 @@ TEST(CsrParity, CacheRebuildsOnRewireOnly) {
   // The rebuilt snapshot again tracks the oracle exactly.
   const auto legacy = sim::simulate_broadcast(topology, network, 7);
   const auto fast = sim::simulate_broadcast(rebuilt, 7);
+  EXPECT_TRUE(bytes_equal(fast.arrival, legacy.arrival));
+  EXPECT_TRUE(bytes_equal(fast.ready, legacy.ready));
+}
+
+// Regression for the old staleness footgun: a latency-model swap under an
+// unchanged topology used to require a manual cache.invalidate() call; the
+// network's latency version counter now invalidates automatically.
+TEST(CsrParity, CacheRebuildsAutomaticallyOnLatencyModelSwap) {
+  net::NetworkOptions options;
+  options.n = 50;
+  options.seed = 43;
+  auto network = net::Network::build(options);
+  net::Topology topology(options.n);
+  util::Rng rng(43);
+  topo::build_random(topology, rng);
+
+  net::CsrCache cache;
+  cache.get(topology, network);
+  network.set_latency_model(std::make_unique<net::PairClassScaledModel>(
+      network.make_geo_model(), [](net::NodeId) { return true; }, 2.0));
+  // No topology mutation, no manual invalidate: get() must still hand back a
+  // snapshot compiled under the new model, matching the live oracle.
+  const net::CsrTopology& refreshed = cache.get(topology, network);
+  EXPECT_EQ(cache.rebuilds(), 2u);
+  const auto legacy = sim::simulate_broadcast(topology, network, 3);
+  const auto fast = sim::simulate_broadcast(refreshed, 3);
+  EXPECT_TRUE(bytes_equal(fast.arrival, legacy.arrival));
+  EXPECT_TRUE(bytes_equal(fast.ready, legacy.ready));
+}
+
+// Bandwidth edits feed the per-edge transmission term: with a non-zero block
+// size the cache must rebuild on its own (the other half of the footgun).
+TEST(CsrParity, CacheRebuildsAutomaticallyOnBandwidthEdit) {
+  net::NetworkOptions options;
+  options.n = 50;
+  options.seed = 47;
+  options.block_size_kb = 200.0;
+  options.heterogeneous_bandwidth = true;
+  auto network = net::Network::build(options);
+  net::Topology topology(options.n);
+  util::Rng rng(47);
+  topo::build_random(topology, rng);
+
+  net::CsrCache cache;
+  cache.get(topology, network);
+  network.mutable_profiles()[5].bandwidth_mbps = 1.0;  // new bottleneck tier
+  const net::CsrTopology& refreshed = cache.get(topology, network);
+  EXPECT_EQ(cache.rebuilds(), 2u);
+  const auto legacy = sim::simulate_broadcast(topology, network, 5);
+  const auto fast = sim::simulate_broadcast(refreshed, 5);
+  EXPECT_TRUE(bytes_equal(fast.arrival, legacy.arrival));
+  EXPECT_TRUE(bytes_equal(fast.ready, legacy.ready));
+}
+
+// Profile edits that do not touch per-edge delays must NOT force a rebuild:
+// forwards / validation flips patch the per-node arrays in place, and hash
+// power (mined-block weighting only) costs nothing at all.
+TEST(CsrParity, ProfileOnlyEditsPatchWithoutRebuild) {
+  net::NetworkOptions options;
+  options.n = 50;
+  options.seed = 53;
+  auto network = net::Network::build(options);
+  net::Topology topology(options.n);
+  util::Rng rng(53);
+  topo::build_random(topology, rng);
+
+  net::CsrCache cache;
+  cache.get(topology, network);
+  network.mutable_profiles()[7].forwards = false;
+  network.mutable_profiles()[9].validation_ms = 123.0;
+  network.mutable_profiles()[11].hash_power = 0.5;
+  const net::CsrTopology& refreshed = cache.get(topology, network);
+  EXPECT_EQ(cache.rebuilds(), 1u);  // patched, not recompiled
+  EXPECT_FALSE(refreshed.forwards(7));
+  EXPECT_EQ(refreshed.validation_ms(9), 123.0);
+  const auto legacy = sim::simulate_broadcast(topology, network, 7);
+  const auto fast = sim::simulate_broadcast(refreshed, 7);
   EXPECT_TRUE(bytes_equal(fast.arrival, legacy.arrival));
   EXPECT_TRUE(bytes_equal(fast.ready, legacy.ready));
 }

@@ -13,14 +13,22 @@
 // oracle; the batched engine additionally runs both its bucket-queue fast
 // path and (where the graph forces it) the heap fallback, and once more
 // through a ThreadPool to pin the any-worker-count determinism contract.
+//
+// Each regime additionally drives the incremental compile path: a CsrCache
+// snapshot is patched from the topology's mutation journal after a rewiring
+// storm and held entry-for-entry AND byte-for-byte (batched engine + λ)
+// equal to a from-scratch compile — plus a dedicated rewire-heavy regime and
+// a full round-loop A/B against forced recompiles.
 #include <gtest/gtest.h>
 
 #include <cstring>
 #include <vector>
 
+#include "core/perigee.hpp"
 #include "metrics/eval.hpp"
 #include "net/csr.hpp"
 #include "runner/thread_pool.hpp"
+#include "sim/rounds.hpp"
 #include "scenario/driver.hpp"
 #include "scenario/scenario.hpp"
 #include "sim/batch.hpp"
@@ -97,6 +105,90 @@ net::Topology random_topology(std::size_t n, std::uint64_t seed) {
   return topology;
 }
 
+// A round's worth of learning-loop rewiring: every node replaces a couple of
+// out-edges (disconnect + random redial), the exact delta shape the subset
+// selector journals each round.
+void rewire_round(net::Topology& topology, util::Rng& rng,
+                  int replacements_per_node = 2) {
+  const auto n = static_cast<net::NodeId>(topology.size());
+  for (net::NodeId v = 0; v < n; ++v) {
+    for (int r = 0; r < replacements_per_node; ++r) {
+      const auto& out = topology.out(v);
+      if (out.empty()) break;
+      topology.disconnect(v, out[rng.uniform_index(out.size())]);
+    }
+    topo::dial_random_peers(topology, v, replacements_per_node, rng);
+  }
+}
+
+// Patched-vs-fresh contract: a cache-patched snapshot must be entry-for-entry
+// identical to a from-scratch compile of the mutated topology (rows, delays,
+// per-node attributes), and behaviorally byte-identical on the batched
+// engine's arrival/ready stripes and the all-sources λ evaluation. The δ
+// bounds may differ — patching keeps them conservative — but only in the
+// safe direction.
+void expect_patched_equals_fresh(const net::CsrTopology& patched,
+                                 const net::Topology& topology,
+                                 const net::Network& network) {
+  const net::CsrTopology fresh = net::CsrTopology::build(topology, network);
+  ASSERT_EQ(patched.size(), fresh.size());
+  EXPECT_EQ(patched.built_from_version(), topology.version());
+  ASSERT_EQ(patched.num_links(), fresh.num_links());
+  const auto n = static_cast<net::NodeId>(fresh.size());
+  for (net::NodeId v = 0; v < n; ++v) {
+    const auto pp = patched.peers(v);
+    const auto fp = fresh.peers(v);
+    ASSERT_EQ(pp.size(), fp.size()) << "row size of node " << v;
+    for (std::size_t i = 0; i < pp.size(); ++i) {
+      EXPECT_EQ(pp[i], fp[i]) << "peer of node " << v << " slot " << i;
+    }
+    EXPECT_TRUE(bytes_equal(patched.delays(v), fresh.delays(v)))
+        << "delays of node " << v;
+    EXPECT_TRUE(bytes_equal(patched.control_delays(v),
+                            fresh.control_delays(v)))
+        << "control delays of node " << v;
+    EXPECT_EQ(patched.forwards(v), fresh.forwards(v)) << "node " << v;
+    EXPECT_EQ(patched.validation_ms(v), fresh.validation_ms(v))
+        << "node " << v;
+  }
+  // Conservative bounds: never tighter than the truth.
+  EXPECT_LE(patched.min_delay_ms(), fresh.min_delay_ms());
+  EXPECT_GE(patched.max_delay_ms(), fresh.max_delay_ms());
+  EXPECT_GE(patched.max_validation_ms(), fresh.max_validation_ms());
+
+  // Behavioral parity: every source, batched engine, plus λ end to end.
+  std::vector<net::NodeId> all(fresh.size());
+  for (net::NodeId v = 0; v < n; ++v) all[v] = v;
+  sim::MultiSourceScratch scratch;
+  sim::MultiSourceResult from_patched, from_fresh;
+  sim::simulate_broadcast_batch(patched, all, scratch, from_patched);
+  sim::simulate_broadcast_batch(fresh, all, scratch, from_fresh);
+  EXPECT_TRUE(bytes_equal(from_patched.arrival, from_fresh.arrival));
+  EXPECT_TRUE(bytes_equal(from_patched.ready, from_fresh.ready));
+  EXPECT_TRUE(bytes_equal(metrics::eval_all_sources(patched, network, 0.90),
+                          metrics::eval_all_sources(fresh, network, 0.90)));
+}
+
+// Drives a CsrCache through compile -> mutation -> patched refresh and holds
+// the patched snapshot to the fresh-compile contract plus full three-engine
+// parity on the mutated graph. Asserts the patch path actually ran.
+void expect_patched_parity_after_rewire(net::Topology& topology,
+                                        const net::Network& network,
+                                        const char* regime,
+                                        std::uint64_t seed) {
+  SCOPED_TRACE(::testing::Message()
+               << "patched regime=" << regime << " seed=" << seed);
+  net::CsrCache cache;
+  cache.get(topology, network);
+  util::Rng rng(seed ^ 0xC54);
+  rewire_round(topology, rng);
+  const net::CsrTopology& patched = cache.get(topology, network);
+  EXPECT_EQ(cache.patches(), 1u);
+  EXPECT_EQ(cache.rebuilds(), 1u);
+  expect_patched_equals_fresh(patched, topology, network);
+  expect_three_engine_parity(topology, network, regime, seed);
+}
+
 // 40 seeds x 5 regime families = 200 random topologies.
 constexpr std::uint64_t kSeeds = 40;
 
@@ -106,8 +198,12 @@ TEST(EngineDiff, UniformGeoSubstrate) {
     options.n = 40 + 7 * (seed % 11);
     options.seed = seed;
     const auto network = net::Network::build(options);
-    const auto topology = random_topology(options.n, seed);
+    auto topology = random_topology(options.n, seed);
     expect_three_engine_parity(topology, network, "uniform-geo", seed);
+    if (seed % 4 == 1) {
+      expect_patched_parity_after_rewire(topology, network, "uniform-geo",
+                                         seed);
+    }
   }
 }
 
@@ -122,9 +218,13 @@ TEST(EngineDiff, ExponentialEuclideanSubstrate) {
     options.latency = net::NetworkOptions::LatencyKind::Euclidean;
     options.validation_scale = seed % 3 == 0 ? 5.0 : 0.5;
     const auto network = net::Network::build(options);
-    const auto topology = random_topology(options.n, seed * 31);
+    auto topology = random_topology(options.n, seed * 31);
     expect_three_engine_parity(topology, network, "exponential-euclidean",
                                seed);
+    if (seed % 4 == 1) {
+      expect_patched_parity_after_rewire(topology, network,
+                                         "exponential-euclidean", seed);
+    }
   }
 }
 
@@ -140,8 +240,12 @@ TEST(EngineDiff, ClusteredAndHeterogeneousScenarios) {
     scenario::adjust_network_options(options, spec);
     auto network = net::Network::build(options);
     scenario::apply_static_regimes(network, spec, seed * 101);
-    const auto topology = random_topology(options.n, seed * 101);
+    auto topology = random_topology(options.n, seed * 101);
     expect_three_engine_parity(topology, network, "clustered-hetero", seed);
+    if (seed % 4 == 1) {
+      expect_patched_parity_after_rewire(topology, network,
+                                         "clustered-hetero", seed);
+    }
   }
 }
 
@@ -154,8 +258,12 @@ TEST(EngineDiff, WithholdingAdversaries) {
     options.seed = seed * 7;
     auto network = net::Network::build(options);
     scenario::apply_static_regimes(network, spec, seed * 7);
-    const auto topology = random_topology(options.n, seed * 7);
+    auto topology = random_topology(options.n, seed * 7);
     expect_three_engine_parity(topology, network, "withholding", seed);
+    if (seed % 4 == 1) {
+      expect_patched_parity_after_rewire(topology, network, "withholding",
+                                         seed);
+    }
   }
 }
 
@@ -175,7 +283,79 @@ TEST(EngineDiff, ChurnMutatedTopologies) {
       driver.before_round(round);
     }
     expect_three_engine_parity(topology, network, "churn-mutated", seed);
+    if (seed % 4 == 1) {
+      // Patch across further churn epochs: join/leave deltas (and the hash
+      // stash's profile-version bumps) flow through the same refresh.
+      net::CsrCache cache;
+      cache.get(topology, network);
+      for (std::size_t round = 4; round < 7; ++round) {
+        driver.before_round(round);
+      }
+      const net::CsrTopology& patched = cache.get(topology, network);
+      expect_patched_equals_fresh(patched, topology, network);
+      expect_three_engine_parity(topology, network, "churn-patched", seed);
+    }
   }
+}
+
+// The new rewire-heavy regime: consecutive full-network rewiring rounds,
+// each absorbed by the journal patch path, every round held byte-equal to a
+// forced fresh compile — the exact shape of the learning loop's topology
+// refresh, isolated from selector logic.
+TEST(EngineDiff, RewireHeavyPatchedCsrMatchesFreshCompileEveryRound) {
+  for (std::uint64_t seed : {2u, 9u, 21u, 33u}) {
+    net::NetworkOptions options;
+    options.n = 60 + 8 * (seed % 5);
+    options.seed = seed * 17;
+    const auto network = net::Network::build(options);
+    auto topology = random_topology(options.n, seed * 17);
+    net::CsrCache cache;
+    cache.get(topology, network);
+    util::Rng rng(seed * 17 + 1);
+    for (int round = 0; round < 6; ++round) {
+      SCOPED_TRACE(::testing::Message()
+                   << "rewire-heavy seed=" << seed << " round=" << round);
+      rewire_round(topology, rng);
+      const net::CsrTopology& patched = cache.get(topology, network);
+      expect_patched_equals_fresh(patched, topology, network);
+    }
+    EXPECT_EQ(cache.rebuilds(), 1u);
+    EXPECT_EQ(cache.patches(), 6u);
+    expect_three_engine_parity(topology, network, "rewire-heavy", seed);
+  }
+}
+
+// Round-loop A/B: the full adaptive learning loop (subset selectors, real
+// rewiring every round) with journal patching against a twin run forced to
+// recompile each round — every block's arrival/ready and the final λ must be
+// byte-identical.
+TEST(EngineDiff, PatchedRoundLoopMatchesForcedRecompileByteForByte) {
+  const std::size_t n = 70;
+  const int rounds = 5;
+  const auto run = [&](bool patching, std::vector<double>& blocks_out) {
+    net::NetworkOptions options;
+    options.n = n;
+    options.seed = 41;
+    auto network = net::Network::build(options);
+    auto topology = random_topology(n, 41);
+    sim::RoundRunner runner(
+        network, topology,
+        core::make_selectors(n, core::Algorithm::PerigeeSubset), 8, 41);
+    runner.set_csr_patching(patching);
+    runner.set_block_hook([&](const sim::BroadcastResult& r) {
+      blocks_out.insert(blocks_out.end(), r.arrival.begin(), r.arrival.end());
+      blocks_out.insert(blocks_out.end(), r.ready.begin(), r.ready.end());
+    });
+    runner.run_rounds(rounds);
+    return metrics::eval_all_sources(runner.current_csr(), network, 0.90);
+  };
+  std::vector<double> patched_blocks, rebuilt_blocks;
+  const auto patched_lambda = run(true, patched_blocks);
+  const auto rebuilt_lambda = run(false, rebuilt_blocks);
+  ASSERT_EQ(patched_blocks.size(),
+            static_cast<std::size_t>(rounds) * 8 * 2 * n);
+  EXPECT_TRUE(bytes_equal(patched_blocks, rebuilt_blocks));
+  EXPECT_TRUE(bytes_equal(patched_lambda, rebuilt_lambda));
 }
 
 // Degenerate graphs: the shapes most likely to break an engine swap.
