@@ -16,6 +16,10 @@
 #include <vector>
 
 #include "metrics/curves.hpp"
+#include "obs/meta.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "runner/json.hpp"
 #include "runner/sweep.hpp"
 #include "scenario/scenario.hpp"
 #include "util/flags.hpp"
@@ -206,6 +210,16 @@ int main(int argc, char** argv) {
   flags.add_double("coverage", 0.90, "hash-power coverage for lambda");
   flags.add_int("jobs", 0, "worker threads (0 = all hardware threads)");
   flags.add_string("json", "", "output path (default BENCH_<name>.json)");
+  flags.add_string("trace", "",
+                   "write a Chrome trace_event JSON (chrome://tracing, "
+                   "Perfetto, scripts/summarize_trace.py) of the sweep to "
+                   "this path; requires a PERIGEE_TELEMETRY build");
+  flags.add_bool("metrics", false,
+                 "print the merged telemetry counter/histogram table to "
+                 "stderr after the sweep");
+  flags.add_bool("print-meta", false,
+                 "print this binary's run metadata (build type, compiler, "
+                 "git sha, ...) as JSON and exit");
   flags.add_bool("incremental-csr", true,
                  "patch CSR snapshots from the topology mutation journal "
                  "between rounds (--incremental-csr=false forces full "
@@ -217,6 +231,26 @@ int main(int argc, char** argv) {
       std::cout << figure.name << "\t" << figure.what << "\n";
     }
     return 0;
+  }
+
+  if (flags.get_bool("print-meta")) {
+    const obs::RunMeta meta = obs::capture_run_meta();
+    runner::JsonWriter writer(std::cout);
+    writer.begin_object();
+    obs::write_run_meta_fields(writer, meta);
+    writer.end_object();
+    std::cout << "\n";
+    return 0;
+  }
+
+  const std::string& trace_path = flags.get_string("trace");
+  if (!trace_path.empty()) {
+    if (!obs::Tracer::instance().start(trace_path)) {
+      std::cerr << "--trace requires a PERIGEE_TELEMETRY=ON build "
+                   "(telemetry_compiled="
+                << (obs::telemetry_compiled() ? "true" : "false") << ")\n";
+      return 1;
+    }
   }
 
   runner::SweepSpec spec;
@@ -396,12 +430,37 @@ int main(int argc, char** argv) {
     table.print(std::cout);
   }
 
+  // Provenance rides in a separate top-level `meta` member; the curve cells
+  // above it stay byte-identical across telemetry settings and --jobs (CI
+  // strips `meta` before diffing).
+  const obs::RunMeta meta = obs::capture_run_meta();
   std::string path = flags.get_string("json");
   if (path.empty()) path = runner::default_json_path(spec);
-  if (!runner::write_json_file(path, spec, result)) {
+  if (!runner::write_json_file(path, spec, result, &meta)) {
     std::cerr << "cannot write " << path << "\n";
     return 1;
   }
   std::cerr << "wrote " << path << "\n";
+
+  if (!trace_path.empty()) {
+    if (!obs::Tracer::instance().finish()) {
+      std::cerr << "cannot write " << trace_path << "\n";
+      return 1;
+    }
+    std::cerr << "wrote " << trace_path << "\n";
+  }
+  if (flags.get_bool("metrics")) {
+    const obs::MetricsSnapshot snapshot = obs::Registry::instance().scrape();
+    std::cerr << "telemetry counters"
+              << (obs::telemetry_compiled() ? ":" : " (compiled out):")
+              << "\n";
+    for (const auto& [name, value] : snapshot.counters) {
+      std::cerr << "  " << name << " = " << value << "\n";
+    }
+    for (const auto& [name, hist] : snapshot.histograms) {
+      std::cerr << "  " << name << " count=" << hist.count
+                << " sum=" << hist.sum << "\n";
+    }
+  }
   return 0;
 }

@@ -10,6 +10,9 @@
 
 #include "core/experiment.hpp"
 #include "metrics/curves.hpp"
+#include "obs/meta.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runner/json.hpp"
 #include "util/flags.hpp"
 #include "util/stats.hpp"
@@ -35,7 +38,38 @@ inline void add_common_flags(util::Flags& flags, int default_nodes,
   flags.add_double("coverage", 0.90, "hash-power coverage for lambda");
   flags.add_int("jobs", 0, "worker threads (0 = all hardware threads)");
   flags.add_string("json", "", "also write curves to this JSON file");
+  flags.add_string("trace", "",
+                   "write a Chrome trace_event JSON of the run to this path "
+                   "(requires a PERIGEE_TELEMETRY build)");
 }
+
+// RAII driver for the shared --trace flag: arms the span tracer for the
+// bench's lifetime and writes the trace file (crash-safe temp-and-rename)
+// on scope exit. Construct right after flags.parse().
+class TraceSession {
+ public:
+  explicit TraceSession(const util::Flags& flags)
+      : path_(flags.get_string("trace")) {
+    if (path_.empty()) return;
+    if (!obs::Tracer::instance().start(path_)) {
+      std::cerr << "--trace ignored: requires a PERIGEE_TELEMETRY=ON build\n";
+      path_.clear();
+    }
+  }
+  ~TraceSession() {
+    if (path_.empty()) return;
+    if (obs::Tracer::instance().finish()) {
+      std::cerr << "wrote " << path_ << "\n";
+    } else {
+      std::cerr << "cannot write " << path_ << "\n";
+    }
+  }
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+ private:
+  std::string path_;
+};
 
 inline int jobs_from_flags(const util::Flags& flags) {
   return static_cast<int>(flags.get_int("jobs"));
@@ -77,6 +111,13 @@ inline bool write_json_if_requested(const util::Flags& flags,
     runner::JsonWriter w(os);
     w.begin_object();
     w.field("title", title);
+    // Same provenance block the sweep JSON carries; the curve members that
+    // follow stay byte-stable, so strip `meta` before byte-diffing files.
+    const obs::RunMeta meta = obs::capture_run_meta();
+    w.key("meta");
+    w.begin_object();
+    obs::write_run_meta_fields(w, meta);
+    w.end_object();
     for (const CurveSet& set : sets) {
       w.key(set.name);
       w.begin_array();

@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
   bench::add_common_flags(flags, 600, 50, 1);
   flags.add_int("checkpoint_every", 10, "evaluate every N rounds");
   if (!flags.parse(argc, argv)) return 1;
+  const bench::TraceSession trace_session(flags);
   const int jobs = bench::jobs_from_flags(flags);
   const int every = static_cast<int>(flags.get_int("checkpoint_every"));
 

@@ -11,6 +11,7 @@ int main(int argc, char** argv) {
   util::Flags flags;
   bench::add_common_flags(flags, 1000, 50, 2);
   if (!flags.parse(argc, argv)) return 1;
+  const bench::TraceSession trace_session(flags);
   const int seeds = static_cast<int>(flags.get_int("seeds"));
   const int jobs = bench::jobs_from_flags(flags);
 

@@ -14,6 +14,7 @@ int main(int argc, char** argv) {
   flags.add_double("pool_latency_scale", 0.1,
                    "latency multiplier between pool members");
   if (!flags.parse(argc, argv)) return 1;
+  const bench::TraceSession trace_session(flags);
   const int seeds = static_cast<int>(flags.get_int("seeds"));
   const int jobs = bench::jobs_from_flags(flags);
 

@@ -12,6 +12,7 @@ int main(int argc, char** argv) {
   flags.add_int("relay_members", 100, "relay overlay size");
   flags.add_double("relay_link_ms", 5.0, "per-hop latency inside the overlay");
   if (!flags.parse(argc, argv)) return 1;
+  const bench::TraceSession trace_session(flags);
   const int seeds = static_cast<int>(flags.get_int("seeds"));
   const int jobs = bench::jobs_from_flags(flags);
 

@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
   flags.add_double("mode_cut_ms", 50.0,
                    "latency separating the intra/inter-continent modes");
   if (!flags.parse(argc, argv)) return 1;
+  const bench::TraceSession trace_session(flags);
   const auto bins = static_cast<std::size_t>(flags.get_int("bins"));
   const double cut = flags.get_double("mode_cut_ms");
 

@@ -74,6 +74,13 @@ def main():
         help="comma-separated benchmark Arg sizes to check (default: the "
         "fig3a grid size 1000)",
     )
+    parser.add_argument(
+        "--current-build-type",
+        default=None,
+        help="build type of the current run (e.g. Debug); warns when it "
+        "differs from the anchor's meta.build_type, since ratios anchored "
+        "in one build mode are not comparable in another",
+    )
     args = parser.parse_args()
 
     try:
@@ -87,6 +94,17 @@ def main():
 
     current_entries = current.get("benchmarks", [])
     anchor_speedups = anchor.get(args.key, {})
+
+    anchor_build_type = (anchor.get("meta") or {}).get("build_type")
+    if args.current_build_type and anchor_build_type and (
+        args.current_build_type != anchor_build_type
+    ):
+        print(
+            f"::warning title=Bench build-type mismatch::current run is "
+            f"{args.current_build_type} but {args.anchor} was anchored "
+            f"under {anchor_build_type}; speedup ratios are not comparable "
+            "across build modes — re-anchor or fix the lane's build type"
+        )
 
     warned = False
     checked = 0

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Soft gate: telemetry-ON overhead on the hot broadcast path must stay small.
+
+Usage:
+    python3 scripts/check_telemetry_overhead.py on.json off.json \
+        [--benchmark BM_BroadcastBatchRound] [--threshold-pct 2.0]
+
+`on.json` and `off.json` are `micro_bench --benchmark_format=json` outputs
+from PERIGEE_TELEMETRY=ON and =OFF builds of the same source. The script
+compares items_per_second for every matching run of the chosen benchmark
+(all Arg variants) and emits a GitHub Actions ::warning:: when the ON build
+is more than the threshold slower. It is a SOFT gate — exit is always 0 on
+well-formed input — because shared CI runners jitter more than 2% on their
+own; the warning makes regressions visible without turning noise into red
+lanes. Exit is nonzero only when the inputs are malformed or the benchmark
+is missing from either file (that means the gate silently measured nothing).
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_runs(path: str, benchmark: str) -> dict:
+    try:
+        with open(path, encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"check_telemetry_overhead: cannot load {path}: {err}",
+              file=sys.stderr)
+        sys.exit(1)
+    runs = {}
+    for entry in doc.get("benchmarks", []):
+        name = entry.get("name", "")
+        if name.split("/")[0] != benchmark:
+            continue
+        if entry.get("run_type") == "aggregate":
+            continue
+        ips = entry.get("items_per_second")
+        if isinstance(ips, (int, float)) and ips > 0:
+            runs[name] = ips
+    if not runs:
+        print(f"check_telemetry_overhead: no {benchmark} runs with "
+              f"items_per_second in {path}", file=sys.stderr)
+        sys.exit(1)
+    return runs
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(
+        description="Warn when telemetry-ON slows the hot path beyond the "
+                    "threshold.")
+    parser.add_argument("on_json", help="micro_bench JSON from the ON build")
+    parser.add_argument("off_json", help="micro_bench JSON from the OFF build")
+    parser.add_argument("--benchmark", default="BM_BroadcastBatchRound")
+    parser.add_argument("--threshold-pct", type=float, default=2.0)
+    args = parser.parse_args()
+
+    on = load_runs(args.on_json, args.benchmark)
+    off = load_runs(args.off_json, args.benchmark)
+    common = sorted(set(on) & set(off))
+    if not common:
+        print("check_telemetry_overhead: ON and OFF files share no runs",
+              file=sys.stderr)
+        sys.exit(1)
+
+    worst = 0.0
+    for name in common:
+        overhead_pct = 100.0 * (off[name] - on[name]) / off[name]
+        worst = max(worst, overhead_pct)
+        verdict = ("WARN" if overhead_pct > args.threshold_pct else "ok")
+        print(f"{verdict:4} {name}: ON {on[name]:.3e} items/s, "
+              f"OFF {off[name]:.3e} items/s, overhead {overhead_pct:+.2f}%")
+
+    if worst > args.threshold_pct:
+        print(f"::warning title=Telemetry overhead::telemetry-ON is "
+              f"{worst:.2f}% slower than OFF on {args.benchmark} "
+              f"(soft gate threshold {args.threshold_pct}%)")
+    else:
+        print(f"telemetry overhead within {args.threshold_pct}% "
+              f"(worst {worst:+.2f}%)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""Summarize a perigee Chrome trace_event JSON as a per-phase time table.
+
+Usage:
+    python3 scripts/summarize_trace.py trace.json
+    python3 scripts/summarize_trace.py trace.json --check
+    python3 scripts/summarize_trace.py trace.json --phase round
+
+Reads the file `perigee_sweep --trace` (or any bench with --trace) wrote and
+prints, per span name: event count, total/mean/min/max duration in
+milliseconds, and the share of the wall-clock span the phase covers. With
+--check the script validates the trace's structure (the fields
+chrome://tracing and Perfetto require) and exits nonzero on any problem, so
+CI can gate on "the trace artifact is loadable".
+
+Only complete events ("ph": "X") are emitted by the tracer; anything else in
+the file is rejected under --check. Durations overlap (spans nest:
+sweep_cell > experiment > round > broadcast_batch), so phase totals are not
+expected to sum to the wall clock.
+"""
+
+import argparse
+import json
+import sys
+
+REQUIRED_EVENT_FIELDS = ("name", "ph", "ts", "dur", "pid", "tid")
+
+
+def fail(message: str) -> None:
+    print(f"summarize_trace: error: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load_trace(path: str) -> dict:
+    try:
+        with open(path, encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except OSError as err:
+        fail(f"cannot read {path}: {err}")
+    except json.JSONDecodeError as err:
+        fail(f"{path} is not valid JSON: {err}")
+    if not isinstance(doc, dict):
+        fail("top level must be a JSON object (trace_event object format)")
+    return doc
+
+
+def validate(doc: dict) -> list:
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail('missing or non-array "traceEvents"')
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            fail(f"traceEvents[{i}] is not an object")
+        for field in REQUIRED_EVENT_FIELDS:
+            if field not in event:
+                fail(f'traceEvents[{i}] lacks required field "{field}"')
+        if event["ph"] != "X":
+            fail(f'traceEvents[{i}] has ph={event["ph"]!r}; the tracer only '
+                 'emits complete events ("X")')
+        if not isinstance(event["name"], str) or not event["name"]:
+            fail(f"traceEvents[{i}] has an empty or non-string name")
+        for field in ("ts", "dur"):
+            if not isinstance(event[field], (int, float)):
+                fail(f"traceEvents[{i}].{field} is not a number")
+        if event["dur"] < 0:
+            fail(f"traceEvents[{i}] has negative dur")
+        if event["ts"] < 0:
+            fail(f"traceEvents[{i}] has negative ts")
+    return events
+
+
+def summarize(events: list, phase_filter: str | None) -> list:
+    phases = {}
+    for event in events:
+        name = event["name"]
+        if phase_filter is not None and name != phase_filter:
+            continue
+        dur_ms = event["dur"] / 1000.0  # trace timestamps are microseconds
+        stats = phases.setdefault(
+            name, {"count": 0, "total": 0.0, "min": dur_ms, "max": dur_ms})
+        stats["count"] += 1
+        stats["total"] += dur_ms
+        stats["min"] = min(stats["min"], dur_ms)
+        stats["max"] = max(stats["max"], dur_ms)
+    return sorted(phases.items(), key=lambda kv: -kv[1]["total"])
+
+
+def print_table(events: list, rows: list) -> None:
+    if not events:
+        print("(no events)")
+        return
+    span_ms = (max(e["ts"] + e["dur"] for e in events) -
+               min(e["ts"] for e in events)) / 1000.0
+    header = ("phase", "count", "total ms", "mean ms", "min ms", "max ms",
+              "% span")
+    widths = [max(len(header[0]), *(len(name) for name, _ in rows))
+              if rows else len(header[0])] + [10] * 6
+    line = "  ".join(h.rjust(w) if i else h.ljust(w)
+                     for i, (h, w) in enumerate(zip(header, widths)))
+    print(line)
+    print("-" * len(line))
+    for name, s in rows:
+        share = 100.0 * s["total"] / span_ms if span_ms > 0 else 0.0
+        cells = (f"{s['count']}", f"{s['total']:.3f}",
+                 f"{s['total'] / s['count']:.3f}", f"{s['min']:.3f}",
+                 f"{s['max']:.3f}", f"{share:.1f}")
+        print("  ".join([name.ljust(widths[0])] +
+                        [c.rjust(w) for c, w in zip(cells, widths[1:])]))
+    print(f"\nwall-clock span: {span_ms:.3f} ms across {len(events)} events")
+
+
+def print_metrics(doc: dict) -> None:
+    metrics = doc.get("perigeeMetrics")
+    if not isinstance(metrics, dict):
+        return
+    counters = metrics.get("counters") or {}
+    histograms = metrics.get("histograms") or {}
+    if counters:
+        print("\ncounters:")
+        for name in sorted(counters):
+            print(f"  {name} = {counters[name]}")
+    if histograms:
+        print("\nhistograms (power-of-two buckets):")
+        for name in sorted(histograms):
+            hist = histograms[name]
+            count = hist.get("count", 0)
+            mean = hist.get("sum", 0) / count if count else 0.0
+            print(f"  {name}: count={count} mean={mean:.1f}")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(
+        description="Per-phase time table for a perigee --trace file.")
+    parser.add_argument("trace", help="Chrome trace_event JSON path")
+    parser.add_argument("--check", action="store_true",
+                        help="validate structure only; exit nonzero on any "
+                             "malformation (CI gate)")
+    parser.add_argument("--phase", default=None,
+                        help="restrict the table to one span name")
+    parser.add_argument("--no-metrics", action="store_true",
+                        help="skip the embedded counter/histogram dump")
+    args = parser.parse_args()
+
+    doc = load_trace(args.trace)
+    events = validate(doc)
+
+    if args.check:
+        meta = doc.get("metadata")
+        if not isinstance(meta, dict) or "build_type" not in meta:
+            fail('missing "metadata" with build provenance')
+        print(f"ok: {len(events)} events, "
+              f"{len({e['name'] for e in events})} phases, "
+              f"build={meta.get('build_type')} sha={meta.get('git_sha')}")
+        return
+
+    print_table(events, summarize(events, args.phase))
+    if not args.no_metrics:
+        print_metrics(doc)
+
+
+if __name__ == "__main__":
+    main()

@@ -6,6 +6,7 @@
 #include "metrics/edge_hist.hpp"
 #include "metrics/eval.hpp"
 #include "net/csr.hpp"
+#include "obs/trace.hpp"
 #include "runner/thread_pool.hpp"
 #include "scenario/driver.hpp"
 #include "sim/rounds.hpp"
@@ -31,6 +32,9 @@ Checkpoint make_checkpoint(std::size_t blocks_mined,
                            runner::ThreadPool* pool) {
   Checkpoint cp;
   cp.blocks_mined = blocks_mined;
+  PERIGEE_TRACE_SPAN_ARGS(
+      checkpoint_span, "checkpoint_eval",
+      obs::TraceArgs().arg("blocks_mined", blocks_mined).json());
   const auto lambda =
       metrics::eval_all_sources(csr, network, coverage, &scratch, pool);
   cp.mean_lambda = util::mean(lambda);
@@ -113,6 +117,12 @@ void build_initial_topology(const ExperimentConfig& config,
 }
 
 ExperimentResult run_experiment(const ExperimentConfig& config) {
+  PERIGEE_TRACE_SPAN_ARGS(experiment_span, "experiment",
+                          obs::TraceArgs()
+                              .arg("algorithm", algorithm_name(config.algorithm))
+                              .arg("nodes", config.net.n)
+                              .arg("seed", config.seed)
+                              .json());
   Scenario scenario = build_scenario(config);
   build_initial_topology(config, scenario);
 
@@ -132,6 +142,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   }
   sim::MultiSourceScratch eval_scratch;
   const auto eval_both = [&](const net::CsrTopology& csr) {
+    PERIGEE_TRACE_SPAN(final_eval_span, "final_eval");
     result.lambda = metrics::eval_all_sources(
         csr, scenario.network, config.coverage, &eval_scratch,
         engine_pool.get());

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/assert.hpp"
 
 namespace perigee::net {
@@ -262,10 +264,29 @@ const CsrTopology& CsrCache::get(const Topology& topology,
     bool current = true;
     if (csr_->built_from_version() != topology.version()) {
       const auto deltas = topology.deltas_since(csr_->built_from_version());
-      current = deltas.has_value() &&
-                deltas->size() <= patch_budget(csr_->num_links()) &&
-                csr_->apply_deltas(*deltas, network);
-      if (current) ++patches_;
+      if (deltas.has_value() &&
+          deltas->size() <= patch_budget(csr_->num_links())) {
+        PERIGEE_TRACE_SPAN_ARGS(
+            patch_span, "csr_patch",
+            obs::TraceArgs().arg("deltas", deltas->size()).json());
+        current = csr_->apply_deltas(*deltas, network);
+      } else {
+        current = false;
+      }
+      if (current) {
+        ++patches_;
+        PERIGEE_COUNTER_ADD("csr.cache.patches", 1);
+        PERIGEE_HISTOGRAM_OBSERVE("csr.patch.deltas", deltas->size());
+      } else if (deltas.has_value()) {
+        // Delta volume over budget (or a failed replay): the rebuild below
+        // is the patch-vs-rebuild heuristic choosing the compile.
+        PERIGEE_COUNTER_ADD("csr.cache.patch_rejects", 1);
+      } else {
+        // The journal was truncated past the snapshot's version.
+        PERIGEE_COUNTER_ADD("csr.cache.journal_misses", 1);
+      }
+    } else {
+      PERIGEE_COUNTER_ADD("csr.cache.hits", 1);
     }
     if (current &&
         csr_->built_from_profile_version() != network.profile_version()) {
@@ -279,10 +300,18 @@ const CsrTopology& CsrCache::get(const Topology& topology,
       csr_->built_from_version() == topology.version() &&
       csr_->built_from_profile_version() == network.profile_version() &&
       csr_->built_from_latency_version() == network.latency_version()) {
+    PERIGEE_COUNTER_ADD("csr.cache.hits", 1);
     return *csr_;
   }
-  csr_ = CsrTopology::build(topology, network, CsrTopology::Layout::Patchable);
+  {
+    PERIGEE_TRACE_SPAN_ARGS(
+        compile_span, "csr_compile",
+        obs::TraceArgs().arg("nodes", topology.size()).json());
+    csr_ =
+        CsrTopology::build(topology, network, CsrTopology::Layout::Patchable);
+  }
   ++rebuilds_;
+  PERIGEE_COUNTER_ADD("csr.cache.rebuilds", 1);
   return *csr_;
 }
 

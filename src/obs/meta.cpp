@@ -1,0 +1,81 @@
+#include "obs/meta.hpp"
+
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.hpp"
+#include "runner/json.hpp"
+
+// CMake injects these for this translation unit only (see the
+// set_source_files_properties block in CMakeLists.txt). Fallbacks keep
+// non-CMake builds (IDE single-file checks) compiling.
+#ifndef PERIGEE_BUILD_TYPE
+#define PERIGEE_BUILD_TYPE "unknown"
+#endif
+#ifndef PERIGEE_COMPILER_INFO
+#define PERIGEE_COMPILER_INFO "unknown"
+#endif
+#ifndef PERIGEE_CXX_FLAGS_INFO
+#define PERIGEE_CXX_FLAGS_INFO ""
+#endif
+#ifndef PERIGEE_GIT_SHA
+#define PERIGEE_GIT_SHA "unknown"
+#endif
+
+namespace perigee::obs {
+
+namespace {
+
+// Anchored at static initialization, i.e. (close enough to) process start.
+const std::chrono::steady_clock::time_point g_process_start =
+    std::chrono::steady_clock::now();
+
+}  // namespace
+
+std::int64_t peak_rss_kb() {
+  std::ifstream status("/proc/self/status");
+  if (!status) return 0;
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      std::istringstream fields(line.substr(6));
+      std::int64_t kb = 0;
+      fields >> kb;
+      return kb;
+    }
+  }
+  return 0;
+}
+
+RunMeta capture_run_meta() {
+  RunMeta meta;
+  meta.build_type = PERIGEE_BUILD_TYPE;
+  meta.compiler = PERIGEE_COMPILER_INFO;
+  meta.cxx_flags = PERIGEE_CXX_FLAGS_INFO;
+  meta.git_sha = PERIGEE_GIT_SHA;
+  meta.telemetry = telemetry_compiled();
+  meta.num_cpus =
+      static_cast<std::int64_t>(std::thread::hardware_concurrency());
+  meta.peak_rss_kb = peak_rss_kb();
+  meta.wall_clock_sec =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    g_process_start)
+          .count();
+  return meta;
+}
+
+void write_run_meta_fields(runner::JsonWriter& writer, const RunMeta& meta) {
+  writer.field("build_type", meta.build_type);
+  writer.field("compiler", meta.compiler);
+  writer.field("cxx_flags", meta.cxx_flags);
+  writer.field("git_sha", meta.git_sha);
+  writer.field("telemetry", meta.telemetry);
+  writer.field("num_cpus", meta.num_cpus);
+  writer.field("peak_rss_kb", meta.peak_rss_kb);
+  writer.field("wall_clock_sec", meta.wall_clock_sec);
+}
+
+}  // namespace perigee::obs

@@ -1,0 +1,49 @@
+/// \file
+/// \brief Run metadata capture: build/compiler/git provenance plus process
+/// peak RSS and wall-clock.
+///
+/// Every sweep JSON and BENCH snapshot carries this under a top-level
+/// `meta` key, so perf anchors are no longer anonymous numbers — the known
+/// "debug-build anchors" caveat becomes machine-readable
+/// (`scripts/check_bench_regression.py` warns on build-type mismatches).
+///
+/// Build-time facts (build type, compiler, flags, git sha) are injected by
+/// CMake as compile definitions scoped to meta.cpp only, so editing a flag
+/// or committing does not rebuild the whole tree. Runtime facts come from
+/// `/proc/self/status` (VmHWM) and a process-start steady-clock anchor.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace perigee::runner {
+class JsonWriter;
+}  // namespace perigee::runner
+
+namespace perigee::obs {
+
+/// Provenance attached to emitted result files. All strings are plain
+/// facts, no formatting.
+struct RunMeta {
+  std::string build_type;    ///< CMAKE_BUILD_TYPE at configure time.
+  std::string compiler;      ///< e.g. "GNU 12.2.0".
+  std::string cxx_flags;     ///< Base + per-config flags.
+  std::string git_sha;       ///< Short HEAD sha at configure time.
+  bool telemetry = false;    ///< telemetry_compiled() of this binary.
+  std::int64_t num_cpus = 0; ///< Online CPUs.
+  std::int64_t peak_rss_kb = 0;  ///< VmHWM; 0 when /proc is unavailable.
+  double wall_clock_sec = 0;     ///< Process uptime at capture.
+};
+
+/// Captures everything above at call time.
+RunMeta capture_run_meta();
+
+/// Peak resident set (VmHWM) in KiB from /proc/self/status; 0 on platforms
+/// without procfs.
+std::int64_t peak_rss_kb();
+
+/// Emits `meta`'s fields into the writer's current object scope (the caller
+/// brackets with key("meta") / begin_object / end_object as needed).
+void write_run_meta_fields(runner::JsonWriter& writer, const RunMeta& meta);
+
+}  // namespace perigee::obs

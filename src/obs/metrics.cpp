@@ -1,0 +1,195 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <mutex>
+
+#include "util/assert.hpp"
+
+namespace perigee::obs {
+
+// One writer thread per shard; scrape reads cross-thread with relaxed loads
+// (monotonic counters — a torn snapshot can only lag, never invent counts).
+// Owner-thread updates use load+store instead of fetch_add: there is exactly
+// one writer per slot, so no RMW is needed and the store stays a plain
+// register increment plus movq on x86.
+struct Registry::Shard {
+  std::atomic<std::uint64_t> counters[kMaxCounters];
+  struct Hist {
+    std::atomic<std::uint64_t> count;
+    std::atomic<std::uint64_t> sum;
+    std::atomic<std::uint64_t> buckets[kHistBuckets];
+  };
+  Hist histograms[kMaxHistograms];
+
+  void bump(std::atomic<std::uint64_t>& slot, std::uint64_t delta) {
+    slot.store(slot.load(std::memory_order_relaxed) + delta,
+               std::memory_order_relaxed);
+  }
+};
+
+namespace {
+
+struct RegistryState {
+  std::mutex mu;
+  std::vector<std::string> counter_names;
+  std::vector<std::string> gauge_names;
+  std::vector<std::string> histogram_names;
+  // Shards are owned forever: a ThreadPool worker's counts must remain
+  // scrapeable after the pool (and its threads) are gone.
+  std::vector<std::unique_ptr<Registry::Shard>> shards;
+  // Gauges are process-wide (last-writer-wins / high-water), not sharded.
+  std::atomic<std::int64_t> gauges[Registry::kMaxGauges] = {};
+};
+
+RegistryState& state() {
+  static RegistryState* s = new RegistryState();  // never destroyed: shards
+  return *s;                                      // outlive static teardown
+}
+
+}  // namespace
+
+Registry& Registry::instance() {
+  static Registry* r = new Registry();
+  return *r;
+}
+
+Registry::Shard& Registry::local_shard() {
+  thread_local Shard* shard = nullptr;
+  if (shard == nullptr) {
+    auto owned = std::make_unique<Shard>();
+    shard = owned.get();
+    std::lock_guard<std::mutex> lock(state().mu);
+    state().shards.push_back(std::move(owned));
+  }
+  return *shard;
+}
+
+MetricId Registry::intern(std::vector<std::string>& names,
+                          std::size_t capacity, const char* kind,
+                          std::string_view name) {
+  (void)kind;
+  std::lock_guard<std::mutex> lock(state().mu);
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == name) return static_cast<MetricId>(i);
+  }
+  PERIGEE_ASSERT(names.size() < capacity);
+  names.emplace_back(name);
+  return static_cast<MetricId>(names.size() - 1);
+}
+
+MetricId Registry::counter(std::string_view name) {
+  return intern(state().counter_names, kMaxCounters, "counter", name);
+}
+
+MetricId Registry::gauge(std::string_view name) {
+  return intern(state().gauge_names, kMaxGauges, "gauge", name);
+}
+
+MetricId Registry::histogram(std::string_view name) {
+  return intern(state().histogram_names, kMaxHistograms, "histogram", name);
+}
+
+void Registry::add(MetricId id, std::uint64_t delta) {
+  if (!enabled()) return;
+  Shard& shard = local_shard();
+  shard.bump(shard.counters[id], delta);
+}
+
+void Registry::observe(MetricId id, std::uint64_t value) {
+  if (!enabled()) return;
+  Shard& shard = local_shard();
+  Shard::Hist& h = shard.histograms[id];
+  shard.bump(h.count, 1);
+  shard.bump(h.sum, value);
+  shard.bump(h.buckets[bucket_index(value)], 1);
+}
+
+void Registry::gauge_set(MetricId id, std::int64_t value) {
+  if (!enabled()) return;
+  state().gauges[id].store(value, std::memory_order_relaxed);
+}
+
+void Registry::gauge_max(MetricId id, std::int64_t value) {
+  if (!enabled()) return;
+  std::atomic<std::int64_t>& g = state().gauges[id];
+  std::int64_t cur = g.load(std::memory_order_relaxed);
+  while (cur < value &&
+         !g.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t MetricsSnapshot::counter(std::string_view name) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+const HistogramSnapshot* MetricsSnapshot::histogram(
+    std::string_view name) const {
+  for (const auto& [n, h] : histograms) {
+    if (n == name) return &h;
+  }
+  return nullptr;
+}
+
+MetricsSnapshot Registry::scrape() const {
+  RegistryState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+
+  MetricsSnapshot snap;
+  snap.counters.reserve(s.counter_names.size());
+  for (std::size_t i = 0; i < s.counter_names.size(); ++i) {
+    std::uint64_t total = 0;
+    for (const auto& shard : s.shards) {
+      total += shard->counters[i].load(std::memory_order_relaxed);
+    }
+    snap.counters.emplace_back(s.counter_names[i], total);
+  }
+
+  snap.gauges.reserve(s.gauge_names.size());
+  for (std::size_t i = 0; i < s.gauge_names.size(); ++i) {
+    snap.gauges.emplace_back(s.gauge_names[i],
+                             s.gauges[i].load(std::memory_order_relaxed));
+  }
+
+  snap.histograms.reserve(s.histogram_names.size());
+  for (std::size_t i = 0; i < s.histogram_names.size(); ++i) {
+    HistogramSnapshot h;
+    h.buckets.assign(kHistBuckets, 0);
+    for (const auto& shard : s.shards) {
+      const Shard::Hist& sh = shard->histograms[i];
+      h.count += sh.count.load(std::memory_order_relaxed);
+      h.sum += sh.sum.load(std::memory_order_relaxed);
+      for (std::size_t b = 0; b < kHistBuckets; ++b) {
+        h.buckets[b] += sh.buckets[b].load(std::memory_order_relaxed);
+      }
+    }
+    snap.histograms.emplace_back(s.histogram_names[i], std::move(h));
+  }
+
+  const auto by_name = [](const auto& a, const auto& b) {
+    return a.first < b.first;
+  };
+  std::sort(snap.counters.begin(), snap.counters.end(), by_name);
+  std::sort(snap.gauges.begin(), snap.gauges.end(), by_name);
+  std::sort(snap.histograms.begin(), snap.histograms.end(), by_name);
+  return snap;
+}
+
+void Registry::reset() {
+  RegistryState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  for (const auto& shard : s.shards) {
+    for (auto& c : shard->counters) c.store(0, std::memory_order_relaxed);
+    for (auto& h : shard->histograms) {
+      h.count.store(0, std::memory_order_relaxed);
+      h.sum.store(0, std::memory_order_relaxed);
+      for (auto& b : h.buckets) b.store(0, std::memory_order_relaxed);
+    }
+  }
+  for (auto& g : s.gauges) g.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace perigee::obs

@@ -1,0 +1,231 @@
+/// \file
+/// \brief Telemetry metrics registry: named counters, gauges and
+/// power-of-two-bucket histograms with per-thread shards.
+///
+/// Design goals, in priority order:
+///   1. **Zero cost when compiled out.** With `PERIGEE_TELEMETRY` undefined
+///      (CMake `-DPERIGEE_TELEMETRY=OFF`) every instrumentation macro in this
+///      header expands to nothing, so hot loops carry no extra instructions,
+///      no TLS lookups, and no registry symbols survive dead-code
+///      elimination. The registry API itself stays declared and linkable in
+///      both modes so tests and tools compile unchanged;
+///      `telemetry_compiled()` reports which mode was built.
+///   2. **Lock-free on the hot path.** Each recording thread writes to its
+///      own shard — fixed-size arrays of `std::atomic<uint64_t>` updated with
+///      relaxed owner-thread load/store (not `fetch_add`; there is exactly
+///      one writer per slot). The only lock is a mutex taken once per thread
+///      on first touch (shard registration) and at scrape/reset time.
+///   3. **Results stay byte-identical.** Metrics never feed back into the
+///      simulation; they are scraped into sidecar trace files or stderr
+///      tables only. The determinism suite compiles both modes and diffs
+///      sweep curves to enforce this.
+///
+/// Shards are owned by the registry and retained after their thread exits,
+/// so counts recorded by a `runner::ThreadPool` survive pool destruction and
+/// scrape after `pool.wait()` sees every worker's contribution.
+///
+/// Histograms use power-of-two buckets: bucket 0 holds the value 0 and
+/// bucket b >= 1 holds values in [2^(b-1), 2^b). 64 buckets cover the full
+/// uint64 range.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace perigee::obs {
+
+/// True when the library was built with PERIGEE_TELEMETRY (macros active).
+constexpr bool telemetry_compiled() {
+#ifdef PERIGEE_TELEMETRY
+  return true;
+#else
+  return false;
+#endif
+}
+
+/// Index of a registered metric within its kind's slot array.
+using MetricId = std::uint32_t;
+
+/// Point-in-time histogram state merged across shards.
+struct HistogramSnapshot {
+  std::uint64_t count = 0;  ///< Total observations.
+  std::uint64_t sum = 0;    ///< Sum of observed values.
+  /// buckets[0] counts zeros; buckets[b] counts values in [2^(b-1), 2^b).
+  std::vector<std::uint64_t> buckets;
+};
+
+/// Everything the registry knows, merged across shards and sorted by name
+/// (so emission order is deterministic regardless of registration order).
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, std::int64_t>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+
+  /// Counter value by name; 0 when absent.
+  std::uint64_t counter(std::string_view name) const;
+  /// Histogram by name; nullptr when absent.
+  const HistogramSnapshot* histogram(std::string_view name) const;
+};
+
+/// Process-wide metrics registry. All methods are thread-safe; `add` and
+/// `observe` are lock-free after a thread's first recording.
+class Registry {
+ public:
+  static constexpr std::size_t kMaxCounters = 128;
+  static constexpr std::size_t kMaxGauges = 32;
+  static constexpr std::size_t kMaxHistograms = 32;
+  static constexpr std::size_t kHistBuckets = 64;
+
+  /// Per-thread slot array; defined in metrics.cpp only.
+  struct Shard;
+
+  static Registry& instance();
+
+  /// Registers (or looks up) a metric by name. Names are interned: the same
+  /// name always yields the same id. Exceeding the per-kind capacity is a
+  /// programming error and asserts.
+  MetricId counter(std::string_view name);
+  MetricId gauge(std::string_view name);
+  MetricId histogram(std::string_view name);
+
+  /// Runtime gate. Recording is dropped while disabled; registration,
+  /// scrape and reset still work. Defaults to enabled.
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Adds `delta` to a counter on the calling thread's shard.
+  void add(MetricId id, std::uint64_t delta);
+  /// Records one histogram observation on the calling thread's shard.
+  void observe(MetricId id, std::uint64_t value);
+  /// Sets a gauge (process-wide last-writer-wins).
+  void gauge_set(MetricId id, std::int64_t value);
+  /// Raises a gauge to `value` if larger (process-wide high-water mark).
+  void gauge_max(MetricId id, std::int64_t value);
+
+  /// Merges every shard (relaxed reads; concurrent recording is tolerated
+  /// and simply may or may not be included) into a name-sorted snapshot.
+  /// Zero-valued counters/histograms are included — a registered metric
+  /// that never fired is itself a signal.
+  MetricsSnapshot scrape() const;
+
+  /// Zeroes every shard slot and gauge. Registered names/ids survive (a
+  /// sweep cell boundary resets values, not identities).
+  void reset();
+
+  /// Power-of-two bucket index for `v` (see file comment).
+  static constexpr std::size_t bucket_index(std::uint64_t v) {
+    if (v == 0) return 0;
+    const int w = std::bit_width(v);
+    return static_cast<std::size_t>(w) < kHistBuckets ? w : kHistBuckets - 1;
+  }
+  /// Inclusive lower bound of bucket `b` (0, 1, 2, 4, 8, ...).
+  static constexpr std::uint64_t bucket_lower_bound(std::size_t b) {
+    return b == 0 ? 0 : std::uint64_t{1} << (b - 1);
+  }
+
+ private:
+  Registry() = default;
+  Shard& local_shard();
+  MetricId intern(std::vector<std::string>& names, std::size_t capacity,
+                  const char* kind, std::string_view name);
+
+  std::atomic<bool> enabled_{true};
+};
+
+/// Cheap copyable handle binding a name to its id once. Intended to live in
+/// a function-local `static const` (see the macros below) so name interning
+/// happens on first call, not per record.
+class Counter {
+ public:
+  explicit Counter(std::string_view name)
+      : id_(Registry::instance().counter(name)) {}
+  void add(std::uint64_t delta = 1) const {
+    Registry::instance().add(id_, delta);
+  }
+
+ private:
+  MetricId id_;
+};
+
+class Gauge {
+ public:
+  explicit Gauge(std::string_view name)
+      : id_(Registry::instance().gauge(name)) {}
+  void set(std::int64_t value) const {
+    Registry::instance().gauge_set(id_, value);
+  }
+  void max(std::int64_t value) const {
+    Registry::instance().gauge_max(id_, value);
+  }
+
+ private:
+  MetricId id_;
+};
+
+class Histogram {
+ public:
+  explicit Histogram(std::string_view name)
+      : id_(Registry::instance().histogram(name)) {}
+  void observe(std::uint64_t value) const {
+    Registry::instance().observe(id_, value);
+  }
+
+ private:
+  MetricId id_;
+};
+
+}  // namespace perigee::obs
+
+// ------------------------------------------------------------------ macros --
+// The only instrumentation spellings hot paths should use. All of them
+// vanish (no declaration, no evaluation of arguments) when telemetry is
+// compiled out, so local tally variables must themselves be declared through
+// PERIGEE_TELEMETRY_ONLY to avoid unused-variable warnings in OFF builds.
+#ifdef PERIGEE_TELEMETRY
+
+/// Emits its arguments verbatim in telemetry builds, nothing otherwise.
+#define PERIGEE_TELEMETRY_ONLY(...) __VA_ARGS__
+
+/// Adds `delta` to the counter `name` (a string literal). The handle is a
+/// function-local static, so interning happens once.
+#define PERIGEE_COUNTER_ADD(name, delta)                     \
+  do {                                                       \
+    static const ::perigee::obs::Counter perigee_c_{(name)}; \
+    perigee_c_.add(static_cast<std::uint64_t>(delta));       \
+  } while (0)
+
+/// Records `value` into the histogram `name`.
+#define PERIGEE_HISTOGRAM_OBSERVE(name, value)                 \
+  do {                                                         \
+    static const ::perigee::obs::Histogram perigee_h_{(name)}; \
+    perigee_h_.observe(static_cast<std::uint64_t>(value));     \
+  } while (0)
+
+/// Raises the gauge `name` to `value` if larger.
+#define PERIGEE_GAUGE_MAX(name, value)                     \
+  do {                                                     \
+    static const ::perigee::obs::Gauge perigee_g_{(name)}; \
+    perigee_g_.max(static_cast<std::int64_t>(value));      \
+  } while (0)
+
+#else  // !PERIGEE_TELEMETRY
+
+#define PERIGEE_TELEMETRY_ONLY(...)
+#define PERIGEE_COUNTER_ADD(name, delta) \
+  do {                                   \
+  } while (0)
+#define PERIGEE_HISTOGRAM_OBSERVE(name, value) \
+  do {                                         \
+  } while (0)
+#define PERIGEE_GAUGE_MAX(name, value) \
+  do {                                 \
+  } while (0)
+
+#endif  // PERIGEE_TELEMETRY

@@ -1,0 +1,270 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <tuple>
+#include <vector>
+
+#include "obs/meta.hpp"
+#include "obs/metrics.hpp"
+#include "runner/json.hpp"
+
+namespace perigee::obs {
+
+namespace {
+
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct Event {
+  const char* name;
+  std::int64_t ts_ns;
+  std::int64_t dur_ns;
+  int tid;
+  std::string args;  // pre-serialized JSON object, or empty
+};
+
+void append_decimal(std::string& out, std::uint64_t v) {
+  char buf[24];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  (void)ec;
+  out.append(buf, end);
+}
+
+void append_escaped(std::string& out, std::string_view v) {
+  out += '"';
+  for (const char c : v) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += ' ';  // control chars never appear in our labels
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+struct Tracer::ThreadBuffer {
+  std::mutex mu;
+  std::vector<Event> events;
+  int tid = 0;
+};
+
+namespace {
+
+struct TracerState {
+  std::mutex mu;
+  std::vector<std::unique_ptr<Tracer::ThreadBuffer>> buffers;
+};
+
+TracerState& state() {
+  static TracerState* s = new TracerState();  // never destroyed, like the
+  return *s;                                  // registry's shards
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- TraceArgs --
+
+void TraceArgs::begin_member(std::string_view key) {
+  if (body_.size() > 1) body_ += ',';
+  append_escaped(body_, key);
+  body_ += ':';
+}
+
+TraceArgs& TraceArgs::arg(std::string_view key, std::string_view value) {
+  begin_member(key);
+  append_escaped(body_, value);
+  return *this;
+}
+
+TraceArgs& TraceArgs::arg(std::string_view key, std::int64_t value) {
+  begin_member(key);
+  if (value < 0) {
+    body_ += '-';
+    append_decimal(body_, static_cast<std::uint64_t>(-(value + 1)) + 1);
+  } else {
+    append_decimal(body_, static_cast<std::uint64_t>(value));
+  }
+  return *this;
+}
+
+TraceArgs& TraceArgs::arg(std::string_view key, double value) {
+  begin_member(key);
+  body_ += runner::format_double(value);
+  return *this;
+}
+
+// ---------------------------------------------------------------- Tracer --
+
+Tracer& Tracer::instance() {
+  static Tracer* t = new Tracer();
+  return *t;
+}
+
+Tracer::ThreadBuffer& Tracer::local_buffer() {
+  thread_local ThreadBuffer* buffer = nullptr;
+  if (buffer == nullptr) {
+    auto owned = std::make_unique<ThreadBuffer>();
+    buffer = owned.get();
+    std::lock_guard<std::mutex> lock(state().mu);
+    buffer->tid = static_cast<int>(state().buffers.size());
+    state().buffers.push_back(std::move(owned));
+  }
+  return *buffer;
+}
+
+bool Tracer::start(std::string path) {
+  if (!telemetry_compiled()) return false;
+  if (enabled()) return false;
+  {
+    std::lock_guard<std::mutex> lock(state().mu);
+    for (const auto& buffer : state().buffers) {
+      std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+      buffer->events.clear();
+    }
+  }
+  path_ = std::move(path);
+  epoch_ns_ = steady_now_ns();
+  enabled_.store(true, std::memory_order_relaxed);
+  return true;
+}
+
+std::int64_t Tracer::now_ns() const { return steady_now_ns() - epoch_ns_; }
+
+void Tracer::record(const char* name, std::int64_t start_ns,
+                    std::int64_t dur_ns, std::string args) {
+  if (!enabled()) return;
+  ThreadBuffer& buffer = local_buffer();
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  buffer.events.push_back(
+      Event{name, start_ns, dur_ns, buffer.tid, std::move(args)});
+}
+
+std::size_t Tracer::events_recorded() const {
+  std::lock_guard<std::mutex> lock(state().mu);
+  std::size_t total = 0;
+  for (const auto& buffer : state().buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    total += buffer->events.size();
+  }
+  return total;
+}
+
+bool Tracer::finish() {
+  if (!enabled()) return false;
+  enabled_.store(false, std::memory_order_relaxed);
+
+  std::vector<Event> events;
+  {
+    std::lock_guard<std::mutex> lock(state().mu);
+    for (const auto& buffer : state().buffers) {
+      std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+      for (auto& event : buffer->events) events.push_back(std::move(event));
+      buffer->events.clear();
+    }
+  }
+  // Deterministic file order for a given set of events; chrome://tracing
+  // sorts by ts anyway, this keeps diffs and tests stable.
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Event& a, const Event& b) {
+                     return std::tie(a.ts_ns, a.tid, a.dur_ns) <
+                            std::tie(b.ts_ns, b.tid, b.dur_ns);
+                   });
+
+  const RunMeta meta = capture_run_meta();
+  const MetricsSnapshot metrics = Registry::instance().scrape();
+
+  return runner::write_file_atomic(path_, [&](std::ostream& os) {
+    runner::JsonWriter writer(os, /*indent=*/1);
+    writer.begin_object();
+    writer.field("displayTimeUnit", "ms");
+    writer.key("metadata");
+    writer.begin_object();
+    write_run_meta_fields(writer, meta);
+    writer.end_object();
+
+    // Not part of the Chrome schema; viewers ignore unknown top-level keys
+    // and summarize_trace.py prints this next to the per-phase table.
+    writer.key("perigeeMetrics");
+    writer.begin_object();
+    writer.key("counters");
+    writer.begin_object();
+    for (const auto& [name, value] : metrics.counters) {
+      writer.field(name, static_cast<std::int64_t>(value));
+    }
+    writer.end_object();
+    writer.key("gauges");
+    writer.begin_object();
+    for (const auto& [name, value] : metrics.gauges) {
+      writer.field(name, value);
+    }
+    writer.end_object();
+    writer.key("histograms");
+    writer.begin_object();
+    for (const auto& [name, hist] : metrics.histograms) {
+      writer.key(name);
+      writer.begin_object();
+      writer.field("count", static_cast<std::int64_t>(hist.count));
+      writer.field("sum", static_cast<std::int64_t>(hist.sum));
+      writer.key("buckets");
+      writer.begin_object();
+      for (std::size_t b = 0; b < hist.buckets.size(); ++b) {
+        if (hist.buckets[b] == 0) continue;
+        writer.field(std::to_string(Registry::bucket_lower_bound(b)),
+                     static_cast<std::int64_t>(hist.buckets[b]));
+      }
+      writer.end_object();
+      writer.end_object();
+    }
+    writer.end_object();
+    writer.end_object();
+
+    writer.key("traceEvents");
+    writer.begin_array();
+    for (const Event& event : events) {
+      writer.begin_object();
+      writer.field("name", event.name);
+      writer.field("cat", "perigee");
+      writer.field("ph", "X");
+      writer.field("pid", std::int64_t{1});
+      writer.field("tid", static_cast<std::int64_t>(event.tid));
+      // Chrome trace timestamps are microseconds; fractional values keep
+      // nanosecond resolution.
+      writer.field("ts", static_cast<double>(event.ts_ns) / 1000.0);
+      writer.field("dur", static_cast<double>(event.dur_ns) / 1000.0);
+      if (!event.args.empty()) {
+        writer.key("args");
+        writer.raw_value(event.args);
+      }
+      writer.end_object();
+    }
+    writer.end_array();
+    writer.end_object();
+    os << "\n";
+  });
+}
+
+}  // namespace perigee::obs

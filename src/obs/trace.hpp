@@ -1,0 +1,167 @@
+/// \file
+/// \brief Structured span tracer emitting Chrome `trace_event` JSON.
+///
+/// `Tracer::start(path)` arms collection; `PERIGEE_TRACE_SPAN` sites then
+/// record complete ("ph":"X") events into per-thread buffers (one mutex per
+/// buffer, uncontended: each thread locks only its own). `Tracer::finish()`
+/// merges the buffers, embeds the metrics registry snapshot and the run
+/// metadata, and writes the file crash-safely via
+/// `runner::write_file_atomic`. The output loads directly in
+/// chrome://tracing and Perfetto, and `scripts/summarize_trace.py` turns it
+/// into a per-phase time table.
+///
+/// Span names must be string literals (stored as `const char*`); per-span
+/// detail goes into `args`, built lazily — the builder callable passed to
+/// `Span` runs only when the tracer is armed, so disarmed runs never pay
+/// for string formatting.
+///
+/// Like the metrics registry, span sites compile to nothing when
+/// `PERIGEE_TELEMETRY` is off, and a disarmed tracer costs one relaxed
+/// atomic load per site when it is on. Tracing never alters simulation
+/// output: the determinism suite diffs sweep curves with tracing on and
+/// off.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace perigee::obs {
+
+/// Tiny JSON-object builder for span args ("{\"k\":v,...}"). Handles string
+/// escaping; numeric values print in decimal.
+class TraceArgs {
+ public:
+  TraceArgs& arg(std::string_view key, std::string_view value);
+  TraceArgs& arg(std::string_view key, const char* value) {
+    return arg(key, std::string_view(value));
+  }
+  TraceArgs& arg(std::string_view key, std::int64_t value);
+  TraceArgs& arg(std::string_view key, int value) {
+    return arg(key, static_cast<std::int64_t>(value));
+  }
+  TraceArgs& arg(std::string_view key, std::uint64_t value) {
+    return arg(key, static_cast<std::int64_t>(value));
+  }
+  TraceArgs& arg(std::string_view key, double value);
+
+  /// The finished object, e.g. `{"cell":"n1000/ucb","seed":3}`. Call last;
+  /// consumes the builder.
+  std::string json() {
+    body_ += '}';
+    return std::move(body_);
+  }
+
+ private:
+  void begin_member(std::string_view key);
+  std::string body_ = "{";
+};
+
+/// Process-wide trace collector.
+class Tracer {
+ public:
+  static Tracer& instance();
+
+  /// Arms collection; the file is written on `finish()`. Returns false (and
+  /// stays disarmed) when telemetry is compiled out or a trace is already
+  /// armed.
+  bool start(std::string path);
+
+  /// True while armed — span sites check this before doing any work.
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Nanoseconds since `start()` on the steady clock.
+  std::int64_t now_ns() const;
+
+  /// Records a complete event. `name` must outlive the tracer (string
+  /// literal); `args` is a pre-serialized JSON object or empty. No-op while
+  /// disarmed. Must not race with `finish()` — callers join workers first.
+  void record(const char* name, std::int64_t start_ns, std::int64_t dur_ns,
+              std::string args = std::string());
+
+  /// Merges all thread buffers, appends the metrics snapshot and run
+  /// metadata, and atomically writes the armed path. Disarms and clears
+  /// buffers. Returns false when disarmed or the write failed.
+  bool finish();
+
+  /// Events currently buffered across threads (test hook).
+  std::size_t events_recorded() const;
+
+  /// Per-thread event buffer; defined in trace.cpp only.
+  struct ThreadBuffer;
+
+ private:
+  Tracer() = default;
+  ThreadBuffer& local_buffer();
+
+  std::atomic<bool> enabled_{false};
+  std::string path_;
+  std::int64_t epoch_ns_ = 0;
+};
+
+/// RAII complete-event span. Construct on scope entry; the destructor
+/// records [ctor, dtor) when the tracer was armed at entry.
+class Span {
+ public:
+  explicit Span(const char* name) : name_(name) {
+    if (Tracer::instance().enabled()) {
+      armed_ = true;
+      start_ns_ = Tracer::instance().now_ns();
+    }
+  }
+
+  /// `make_args` is invoked only when armed; it must return a
+  /// `std::string` holding a JSON object (typically via `TraceArgs`).
+  template <typename F>
+  Span(const char* name, F&& make_args) : name_(name) {
+    if (Tracer::instance().enabled()) {
+      armed_ = true;
+      args_ = make_args();
+      start_ns_ = Tracer::instance().now_ns();
+    }
+  }
+
+  ~Span() {
+    if (armed_) {
+      Tracer& t = Tracer::instance();
+      t.record(name_, start_ns_, t.now_ns() - start_ns_, std::move(args_));
+    }
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_;
+  std::string args_;
+  std::int64_t start_ns_ = 0;
+  bool armed_ = false;
+};
+
+}  // namespace perigee::obs
+
+// ------------------------------------------------------------------ macros --
+#ifdef PERIGEE_TELEMETRY
+
+/// Scoped span covering the rest of the enclosing block.
+#define PERIGEE_TRACE_SPAN(var, name) ::perigee::obs::Span var((name))
+
+/// Scoped span with lazily-built args: the trailing expression (typically a
+/// `TraceArgs` chain ending in `.json()`-less form is not required — pass
+/// any expression convertible to std::string) is evaluated only while a
+/// trace is armed.
+#define PERIGEE_TRACE_SPAN_ARGS(var, name, ...) \
+  ::perigee::obs::Span var((name), [&]() -> std::string { return __VA_ARGS__; })
+
+#else  // !PERIGEE_TELEMETRY
+
+#define PERIGEE_TRACE_SPAN(var, name) \
+  do {                                \
+  } while (0)
+#define PERIGEE_TRACE_SPAN_ARGS(var, name, ...) \
+  do {                                          \
+  } while (0)
+
+#endif  // PERIGEE_TELEMETRY

@@ -138,6 +138,11 @@ void JsonWriter::value(std::string_view v) {
   write_string(v);
 }
 
+void JsonWriter::raw_value(std::string_view v) {
+  before_value();
+  os_ << v;
+}
+
 void JsonWriter::write_string(std::string_view v) {
   os_ << '"';
   for (const char c : v) {

@@ -39,6 +39,9 @@ class JsonWriter {
   // String literals would otherwise decay to the bool overload.
   void value(const char* v) { value(std::string_view(v)); }
   void null();
+  // Emits `v` verbatim as the next value. `v` must itself be well-formed
+  // JSON (the trace writer splices pre-serialized span args this way).
+  void raw_value(std::string_view v);
 
   // key + value in one call.
   void field(std::string_view k, double v);

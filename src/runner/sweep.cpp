@@ -5,6 +5,8 @@
 #include <string>
 #include <utility>
 
+#include "obs/meta.hpp"
+#include "obs/trace.hpp"
 #include "runner/json.hpp"
 #include "runner/thread_pool.hpp"
 #include "util/assert.hpp"
@@ -163,6 +165,11 @@ SweepResult SweepRunner::run(const SweepSpec& spec,
       pool.submit([&, c, s] {
         core::ExperimentConfig config = cells[c].config;
         config.seed += static_cast<std::uint64_t>(s);
+        PERIGEE_TRACE_SPAN_ARGS(cell_span, "sweep_cell",
+                                obs::TraceArgs()
+                                    .arg("cell", cells[c].label)
+                                    .arg("seed", config.seed)
+                                    .json());
         if (config.algorithm == core::Algorithm::Ideal) {
           core::IdealResult r = core::run_ideal_both(config);
           lambda[c][s] = std::move(r.lambda);
@@ -204,7 +211,7 @@ void write_curve(JsonWriter& w, const metrics::Curve& curve) {
 }  // namespace
 
 void write_json(std::ostream& os, const SweepSpec& spec,
-                const SweepResult& result) {
+                const SweepResult& result, const obs::RunMeta* meta) {
   JsonWriter w(os);
   w.begin_object();
   w.field("name", spec.name);
@@ -214,6 +221,15 @@ void write_json(std::ostream& os, const SweepSpec& spec,
   w.field("base_seed", static_cast<std::int64_t>(spec.base.seed));
   w.field("coverage", spec.base.coverage);
   w.end_object();
+  // `meta` is provenance, not results: it holds volatile facts (wall-clock,
+  // RSS), so the golden fixture and the byte-determinism diffs run without
+  // it and CI strips it (scripts/strip_meta.py) before comparing files.
+  if (meta != nullptr) {
+    w.key("meta");
+    w.begin_object();
+    obs::write_run_meta_fields(w, *meta);
+    w.end_object();
+  }
   w.key("cells");
   w.begin_array();
   for (const CellResult& cr : result.cells) {
@@ -242,12 +258,12 @@ void write_json(std::ostream& os, const SweepSpec& spec,
 }
 
 bool write_json_file(const std::string& path, const SweepSpec& spec,
-                     const SweepResult& result) {
+                     const SweepResult& result, const obs::RunMeta* meta) {
   // Atomic temp-and-rename: a sweep interrupted mid-write (hours of cells
   // already computed elsewhere, ctrl-C, OOM kill) never leaves a truncated
   // results file where downstream tooling expects parsable JSON.
   return write_file_atomic(
-      path, [&](std::ostream& os) { write_json(os, spec, result); });
+      path, [&](std::ostream& os) { write_json(os, spec, result, meta); });
 }
 
 std::string default_json_path(const SweepSpec& spec) {

@@ -19,6 +19,10 @@
 #include "metrics/curves.hpp"
 #include "scenario/scenario.hpp"
 
+namespace perigee::obs {
+struct RunMeta;
+}  // namespace perigee::obs
+
 namespace perigee::runner {
 
 struct SweepSpec {
@@ -90,14 +94,19 @@ class SweepRunner {
 
 // Serializes a sweep result (spec echo + per-cell curves) as deterministic
 // JSON: no timestamps, no timings, to_chars number formatting — files from
-// different --jobs runs diff clean.
+// different --jobs runs diff clean. A non-null `meta` adds a top-level
+// "meta" provenance object (build/compiler/git/RSS/wall-clock); callers
+// that byte-compare output (tests, the determinism CI diffs) pass null or
+// strip it first.
 void write_json(std::ostream& os, const SweepSpec& spec,
-                const SweepResult& result);
+                const SweepResult& result,
+                const obs::RunMeta* meta = nullptr);
 
 // write_json to `path` (BENCH_<name>.json convention). Returns false when
 // the file cannot be opened.
 bool write_json_file(const std::string& path, const SweepSpec& spec,
-                     const SweepResult& result);
+                     const SweepResult& result,
+                     const obs::RunMeta* meta = nullptr);
 
 std::string default_json_path(const SweepSpec& spec);
 

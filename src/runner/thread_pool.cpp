@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "util/assert.hpp"
 
 namespace perigee::runner {
@@ -57,6 +58,7 @@ bool ThreadPool::try_acquire(unsigned self, std::function<void()>& out) {
       out = std::move(own.jobs.back());
       own.jobs.pop_back();
       queued_.fetch_sub(1, std::memory_order_relaxed);
+      PERIGEE_COUNTER_ADD("pool.self_pops", 1);
       return true;
     }
   }
@@ -69,6 +71,7 @@ bool ThreadPool::try_acquire(unsigned self, std::function<void()>& out) {
       out = std::move(victim.jobs.front());
       victim.jobs.pop_front();
       queued_.fetch_sub(1, std::memory_order_relaxed);
+      PERIGEE_COUNTER_ADD("pool.steals", 1);
       return true;
     }
   }
@@ -96,6 +99,10 @@ void ThreadPool::worker_loop(std::stop_token stop, unsigned self) {
       run_job(job);
       continue;
     }
+    // Idle transition: the worker found every deque empty and blocks until
+    // the next submit. High counts with low steals mean submission is too
+    // bursty for the worker count.
+    PERIGEE_COUNTER_ADD("pool.sleeps", 1);
     std::unique_lock lock(sleep_mutex_);
     work_cv_.wait(lock, stop, [this] {
       return queued_.load(std::memory_order_acquire) > 0;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runner/thread_pool.hpp"
 #include "sim/dary_heap.hpp"
 #include "util/assert.hpp"
@@ -58,13 +60,23 @@ void solve_one(const net::CsrTopology& csr, const BatchPlan& plan,
   const net::NodeId* peers = csr.peer_data();
   const double* delays = csr.delay_data();
 
+  // Telemetry tallies stay in registers inside the drain loop and flush to
+  // the registry once per source — the per-pop cost in telemetry builds is
+  // a local increment, and OFF builds compile all of this away.
+  PERIGEE_TELEMETRY_ONLY(std::uint64_t tally_pops = 0);
+  PERIGEE_TELEMETRY_ONLY(std::uint64_t tally_stale = 0);
+
   if (plan.use_buckets) {
     BucketQueue& queue = lane.queue;
     queue.reset(plan.width);
     queue.push(0.0, src);
     while (!queue.empty()) {
       const auto [t, u] = queue.pop();
-      if (t != arrival[u]) continue;  // stale: u settled at a smaller key
+      PERIGEE_TELEMETRY_ONLY(++tally_pops;)
+      if (t != arrival[u]) {  // stale: u settled at a smaller key
+        PERIGEE_TELEMETRY_ONLY(++tally_stale;)
+        continue;
+      }
       if (!csr.forwards(u) && u != src) continue;
       const double ready_u = u == src ? 0.0 : t + csr.validation_ms(u);
       const std::size_t row_end = row_ends[u];
@@ -77,13 +89,21 @@ void solve_one(const net::CsrTopology& csr, const BatchPlan& plan,
         }
       }
     }
+    PERIGEE_COUNTER_ADD("engine.bucket.sources", 1);
+    PERIGEE_COUNTER_ADD("engine.bucket.pops", tally_pops);
+    PERIGEE_COUNTER_ADD("engine.bucket.stale_pops", tally_stale);
+    PERIGEE_COUNTER_ADD("engine.bucket.empty_skips", queue.empty_skips());
   } else {
     std::vector<HeapItem>& heap = lane.heap;
     heap.clear();
     heap_push(heap, {0.0, src});
     while (!heap.empty()) {
       const auto [t, u] = heap_pop(heap);
-      if (t != arrival[u]) continue;  // stale: u settled at a smaller key
+      PERIGEE_TELEMETRY_ONLY(++tally_pops;)
+      if (t != arrival[u]) {  // stale: u settled at a smaller key
+        PERIGEE_TELEMETRY_ONLY(++tally_stale;)
+        continue;
+      }
       if (!csr.forwards(u) && u != src) continue;
       const double ready_u = u == src ? 0.0 : t + csr.validation_ms(u);
       const std::size_t row_end = row_ends[u];
@@ -96,6 +116,11 @@ void solve_one(const net::CsrTopology& csr, const BatchPlan& plan,
         }
       }
     }
+    // Heap sources = the bucket queue's viability check failed for this
+    // snapshot (degenerate delays or too wide a key span).
+    PERIGEE_COUNTER_ADD("engine.heap.sources", 1);
+    PERIGEE_COUNTER_ADD("engine.heap.pops", tally_pops);
+    PERIGEE_COUNTER_ADD("engine.heap.stale_pops", tally_stale);
   }
 
   if (ready != nullptr) {
@@ -117,6 +142,12 @@ void dispatch(std::size_t count, MultiSourceScratch& scratch,
       pool != nullptr ? std::min<std::size_t>(pool->size(), count) : 1;
   if (workers == 0) workers = 1;
   scratch.ensure_lanes(workers);
+  PERIGEE_COUNTER_ADD("engine.batches", 1);
+  PERIGEE_HISTOGRAM_OBSERVE("engine.batch.sources", count);
+  // Lane occupancy: how many scratch lanes (== workers) the batch actually
+  // spread across. A stuck-at-1 distribution under --jobs N flags a
+  // dispatch problem, not a pool problem.
+  PERIGEE_HISTOGRAM_OBSERVE("engine.batch.lanes", workers);
   if (workers <= 1) {
     for (std::size_t s = 0; s < count; ++s) work(0, s);
     return;
@@ -170,6 +201,11 @@ void simulate_broadcast_batch(const net::CsrTopology& csr,
                               MultiSourceResult& out,
                               runner::ThreadPool* pool) {
   const std::size_t n = csr.size();
+  PERIGEE_TRACE_SPAN_ARGS(batch_span, "broadcast_batch",
+                          obs::TraceArgs()
+                              .arg("sources", sources.size())
+                              .arg("nodes", n)
+                              .json());
   out.nodes = n;
   out.sources.assign(sources.begin(), sources.end());
   out.arrival.resize(sources.size() * n);

@@ -45,6 +45,9 @@ void BucketQueue::reset(double width) {
   inv_width_ = 1.0 / width;
   cur_ = 0;
   cur_sorted_ = false;
+#ifdef PERIGEE_TELEMETRY
+  empty_skips_ = 0;
+#endif
   if (ring_.empty()) grow(0);  // keeps the ring check out of push()
 }
 
@@ -108,6 +111,9 @@ void BucketQueue::advance_to_nonempty() {
   if (delta != 0) {
     cur_ += delta;
     cur_sorted_ = false;
+#ifdef PERIGEE_TELEMETRY
+    empty_skips_ += delta;
+#endif
   }
 }
 

@@ -77,6 +77,17 @@ class BucketQueue {
   /// The width `reset` installed.
   double width() const { return width_; }
 
+  /// Empty buckets skipped by `advance_to_nonempty` since the last `reset`.
+  /// Telemetry only (flushed into the obs registry per source by the batch
+  /// engine); always 0 when telemetry is compiled out.
+  std::uint64_t empty_skips() const {
+#ifdef PERIGEE_TELEMETRY
+    return empty_skips_;
+#else
+    return 0;
+#endif
+  }
+
   /// Inserts an entry. Contract (unchecked in the hot path): `reset` was
   /// called at least once, and `key` is finite, >= 0, and >= the key of the
   /// last `pop` (the Dijkstra monotonicity this queue is built for).
@@ -174,6 +185,10 @@ class BucketQueue {
   std::uint64_t mask_ = 0;  ///< ring capacity - 1 (capacity is a power of 2)
   std::vector<std::vector<Entry>> ring_;
   std::vector<std::uint64_t> occupied_;  ///< per-slot non-empty bitmap
+#ifdef PERIGEE_TELEMETRY
+  std::uint64_t empty_skips_ = 0;  ///< see empty_skips(); plain member — the
+                                   ///< queue is single-threaded by design
+#endif
 };
 
 }  // namespace perigee::sim

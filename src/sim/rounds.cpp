@@ -2,6 +2,7 @@
 
 #include <numeric>
 
+#include "obs/trace.hpp"
 #include "sim/broadcast.hpp"
 #include "sim/gossip.hpp"
 #include "util/assert.hpp"
@@ -31,6 +32,11 @@ void RoundRunner::refresh_hash_power() {
 }
 
 void RoundRunner::run_round() {
+  PERIGEE_TRACE_SPAN_ARGS(round_span, "round",
+                          obs::TraceArgs()
+                              .arg("round", rounds_run_)
+                              .arg("blocks", blocks_per_round_)
+                              .json());
   // Scenario mutations (churn joins/leaves) land before the observation
   // capture and the CSR compile, so the whole round sees the mutated graph.
   if (pre_round_hook_) pre_round_hook_(rounds_run_);

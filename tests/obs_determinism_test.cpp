@@ -1,0 +1,116 @@
+// Telemetry determinism contract (integration tier): the sweep curve bytes
+// must be identical with telemetry recording enabled vs disabled, and at
+// any --jobs value while a trace is being collected. Telemetry goes to
+// sidecar files and the separate `meta` member only — never into curve
+// cells — so observability can stay on in production runs without
+// invalidating a single checked-in number.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/meta.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "runner/json.hpp"
+#include "runner/sweep.hpp"
+
+namespace perigee {
+namespace {
+
+runner::SweepSpec small_spec() {
+  runner::SweepSpec spec;
+  spec.name = "obs-determinism";
+  spec.base.net.n = 60;
+  spec.base.rounds = 4;
+  spec.base.blocks_per_round = 20;
+  spec.base.seed = 7;
+  spec.algorithms = {core::Algorithm::Random, core::Algorithm::PerigeeSubset};
+  spec.churn_rates = {0.0, 0.1};
+  spec.seeds = 2;
+  return spec;
+}
+
+std::string run_sweep_json(int jobs) {
+  const runner::SweepSpec spec = small_spec();
+  const runner::SweepResult result = runner::SweepRunner(jobs).run(spec);
+  std::ostringstream os;
+  runner::write_json(os, spec, result);  // no meta: the byte-stable part
+  return os.str();
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(ObsDeterminism, CurveBytesIdenticalTelemetryOnVsOff) {
+  obs::Registry& registry = obs::Registry::instance();
+
+  registry.set_enabled(true);
+  const std::string with_telemetry = run_sweep_json(/*jobs=*/2);
+
+  registry.set_enabled(false);
+  const std::string without_telemetry = run_sweep_json(/*jobs=*/2);
+  registry.set_enabled(true);
+
+  EXPECT_EQ(with_telemetry, without_telemetry);
+}
+
+TEST(ObsDeterminism, JobsInvariantWhileTracing) {
+  const std::string path = "obs_determinism_trace.json";
+  const bool tracing = obs::Tracer::instance().start(path);
+  EXPECT_EQ(tracing, obs::telemetry_compiled());
+
+  const std::string sequential = run_sweep_json(/*jobs=*/1);
+  const std::string parallel = run_sweep_json(/*jobs=*/4);
+  EXPECT_EQ(sequential, parallel);
+
+  if (!tracing) return;  // OFF build: nothing to flush or inspect
+
+  ASSERT_TRUE(obs::Tracer::instance().finish());
+  const auto doc = runner::JsonValue::parse(slurp(path));
+  std::remove(path.c_str());
+
+  // The trace must carry the sweep's phase structure: per-cell spans from
+  // both runs (2 algorithms x 2 churn rates x 2 seeds x 2 runs = 16) plus
+  // the nested experiment/round spans.
+  const runner::JsonValue* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  std::size_t cells = 0, rounds = 0;
+  for (const auto& event : events->items) {
+    const std::string& name = event.find("name")->string;
+    if (name == "sweep_cell") ++cells;
+    if (name == "round") ++rounds;
+  }
+  EXPECT_EQ(cells, 16u);
+  EXPECT_GT(rounds, 0u);
+}
+
+TEST(ObsDeterminism, MetaMemberDoesNotDisturbCurveBytes) {
+  // Emitting with a meta block and textually removing it must reproduce
+  // the meta-less emission exactly — the guarantee strip_meta.py relies on.
+  const runner::SweepSpec spec = small_spec();
+  const runner::SweepResult result = runner::SweepRunner(2).run(spec);
+
+  std::ostringstream bare, with_meta;
+  runner::write_json(bare, spec, result);
+  const obs::RunMeta meta = obs::capture_run_meta();
+  runner::write_json(with_meta, spec, result, &meta);
+
+  const std::string annotated = with_meta.str();
+  const std::size_t begin = annotated.find("  \"meta\": {");
+  ASSERT_NE(begin, std::string::npos);
+  const std::size_t end = annotated.find("  },\n", begin);
+  ASSERT_NE(end, std::string::npos);
+  std::string stripped = annotated;
+  stripped.erase(begin, end + 5 - begin);
+  EXPECT_EQ(stripped, bare.str());
+}
+
+}  // namespace
+}  // namespace perigee

@@ -1,0 +1,161 @@
+// Metrics registry unit tests: power-of-two bucket boundaries, per-thread
+// shard merge under real ThreadPool contention, reset semantics (values
+// clear, identities survive — the sweep-cell boundary contract), the
+// runtime gate, and the compile-time gate (macros must not even register
+// names in a PERIGEE_TELEMETRY=OFF build).
+//
+// The registry is process-global, so every test uses test-unique metric
+// names and never assumes the snapshot is otherwise empty.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "runner/thread_pool.hpp"
+
+namespace perigee {
+namespace {
+
+using obs::Registry;
+
+TEST(ObsRegistry, HistogramBucketBoundaries) {
+  // Bucket 0 holds 0; bucket b >= 1 holds [2^(b-1), 2^b).
+  EXPECT_EQ(Registry::bucket_index(0), 0u);
+  EXPECT_EQ(Registry::bucket_index(1), 1u);
+  EXPECT_EQ(Registry::bucket_index(2), 2u);
+  EXPECT_EQ(Registry::bucket_index(3), 2u);
+  EXPECT_EQ(Registry::bucket_index(4), 3u);
+  EXPECT_EQ(Registry::bucket_index(7), 3u);
+  EXPECT_EQ(Registry::bucket_index(8), 4u);
+  EXPECT_EQ(Registry::bucket_index((std::uint64_t{1} << 62) - 1), 62u);
+  EXPECT_EQ(Registry::bucket_index(std::uint64_t{1} << 62), 63u);
+  EXPECT_EQ(Registry::bucket_index(~std::uint64_t{0}),
+            Registry::kHistBuckets - 1);
+
+  EXPECT_EQ(Registry::bucket_lower_bound(0), 0u);
+  EXPECT_EQ(Registry::bucket_lower_bound(1), 1u);
+  EXPECT_EQ(Registry::bucket_lower_bound(2), 2u);
+  EXPECT_EQ(Registry::bucket_lower_bound(3), 4u);
+  // Every value lands in the bucket whose [lower, next-lower) range holds
+  // it.
+  for (std::uint64_t v : {1ull, 2ull, 3ull, 5ull, 100ull, 65536ull}) {
+    const std::size_t b = Registry::bucket_index(v);
+    EXPECT_GE(v, Registry::bucket_lower_bound(b)) << v;
+    if (b + 1 < Registry::kHistBuckets) {
+      EXPECT_LT(v, Registry::bucket_lower_bound(b + 1)) << v;
+    }
+  }
+}
+
+TEST(ObsRegistry, NameInterningIsStable) {
+  Registry& reg = Registry::instance();
+  const obs::MetricId a = reg.counter("test.intern.a");
+  const obs::MetricId b = reg.counter("test.intern.b");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(reg.counter("test.intern.a"), a);
+  EXPECT_EQ(reg.counter("test.intern.b"), b);
+}
+
+TEST(ObsRegistry, ShardMergeUnderThreadPoolContention) {
+  Registry& reg = Registry::instance();
+  reg.set_enabled(true);
+  const obs::Counter counter("test.contention.counter");
+  const obs::Histogram hist("test.contention.hist");
+
+  const std::uint64_t before = reg.scrape().counter("test.contention.counter");
+
+  // Many small jobs across several workers: increments land on whichever
+  // worker's shard runs the job, and the scrape must see every one of them
+  // after wait() regardless of the split.
+  constexpr std::size_t kJobs = 64;
+  constexpr std::uint64_t kPerJob = 1000;
+  runner::ThreadPool pool(4);
+  runner::parallel_for(pool, kJobs, [&](std::size_t job) {
+    for (std::uint64_t i = 0; i < kPerJob; ++i) counter.add(1);
+    hist.observe(job);
+  });
+
+  const obs::MetricsSnapshot snap = reg.scrape();
+  EXPECT_EQ(snap.counter("test.contention.counter"), before + kJobs * kPerJob);
+
+  const obs::HistogramSnapshot* h = snap.histogram("test.contention.hist");
+  ASSERT_NE(h, nullptr);
+  EXPECT_GE(h->count, kJobs);
+  // Observed values 0..63: bucket_index(63) == 6, so nothing may land
+  // beyond bucket 6 from this test's observations.
+  std::uint64_t bucket_total = 0;
+  for (const std::uint64_t b : h->buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, h->count);
+}
+
+TEST(ObsRegistry, ResetClearsValuesButKeepsIdentities) {
+  Registry& reg = Registry::instance();
+  reg.set_enabled(true);
+  const obs::Counter counter("test.reset.counter");
+  const obs::Histogram hist("test.reset.hist");
+  counter.add(7);
+  hist.observe(5);
+  ASSERT_GE(reg.scrape().counter("test.reset.counter"), 7u);
+
+  // The sweep-cell boundary contract: values go to zero, registered names
+  // and ids survive so standing handles keep working.
+  reg.reset();
+  obs::MetricsSnapshot snap = reg.scrape();
+  EXPECT_EQ(snap.counter("test.reset.counter"), 0u);
+  const obs::HistogramSnapshot* h = snap.histogram("test.reset.hist");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 0u);
+  EXPECT_EQ(h->sum, 0u);
+
+  counter.add(3);
+  EXPECT_EQ(reg.scrape().counter("test.reset.counter"), 3u);
+}
+
+TEST(ObsRegistry, RuntimeGateDropsRecordings) {
+  Registry& reg = Registry::instance();
+  const obs::Counter counter("test.gate.counter");
+  reg.set_enabled(true);
+  counter.add(1);
+  const std::uint64_t armed = reg.scrape().counter("test.gate.counter");
+  reg.set_enabled(false);
+  counter.add(100);
+  EXPECT_EQ(reg.scrape().counter("test.gate.counter"), armed);
+  reg.set_enabled(true);
+  counter.add(1);
+  EXPECT_EQ(reg.scrape().counter("test.gate.counter"), armed + 1);
+}
+
+TEST(ObsRegistry, GaugeSetAndHighWaterMark) {
+  Registry& reg = Registry::instance();
+  reg.set_enabled(true);
+  const obs::Gauge gauge("test.gauge.hwm");
+  gauge.set(10);
+  gauge.max(5);  // below: no change
+  gauge.max(42);
+  for (const auto& [name, value] : reg.scrape().gauges) {
+    if (name == "test.gauge.hwm") {
+      EXPECT_EQ(value, 42);
+      return;
+    }
+  }
+  FAIL() << "gauge not scraped";
+}
+
+TEST(ObsRegistry, MacrosCompileToNoOpsWhenOff) {
+  // In both build modes this compiles; in an OFF build the macro must not
+  // even intern the name, so the scrape never sees it.
+  PERIGEE_COUNTER_ADD("test.macro.compile_gate", 1);
+  PERIGEE_HISTOGRAM_OBSERVE("test.macro.compile_gate_hist", 9);
+  const obs::MetricsSnapshot snap = Registry::instance().scrape();
+  if (obs::telemetry_compiled()) {
+    EXPECT_GE(snap.counter("test.macro.compile_gate"), 1u);
+    EXPECT_NE(snap.histogram("test.macro.compile_gate_hist"), nullptr);
+  } else {
+    EXPECT_EQ(snap.counter("test.macro.compile_gate"), 0u);
+    EXPECT_EQ(snap.histogram("test.macro.compile_gate_hist"), nullptr);
+  }
+}
+
+}  // namespace
+}  // namespace perigee

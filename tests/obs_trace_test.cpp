@@ -1,0 +1,145 @@
+// Span tracer unit tests: spans recorded across threads land in the Chrome
+// trace_event file, the file parses with the repo's own JSON parser and
+// carries the metadata/metrics sections, TraceArgs escapes correctly, and
+// run-metadata capture reports sane values on this platform.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/meta.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "runner/json.hpp"
+#include "runner/thread_pool.hpp"
+
+namespace perigee {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(ObsTraceArgs, BuildsEscapedJsonObjects) {
+  const std::string json = obs::TraceArgs()
+                               .arg("label", "a \"quoted\"\nvalue")
+                               .arg("count", 42)
+                               .arg("ratio", 0.5)
+                               .json();
+  const auto parsed = runner::JsonValue::parse(json);
+  ASSERT_EQ(parsed.members.size(), 3u);
+  EXPECT_EQ(parsed.find("label")->string, "a \"quoted\"\nvalue");
+  EXPECT_EQ(parsed.find("count")->number, 42.0);
+  EXPECT_EQ(parsed.find("ratio")->number, 0.5);
+}
+
+TEST(ObsTrace, DisarmedTracerRecordsNothing) {
+  obs::Tracer& tracer = obs::Tracer::instance();
+  ASSERT_FALSE(tracer.enabled());
+  const std::size_t before = tracer.events_recorded();
+  {
+    obs::Span span("never_recorded");
+  }
+  EXPECT_EQ(tracer.events_recorded(), before);
+  EXPECT_FALSE(tracer.finish());
+}
+
+TEST(ObsTrace, SpansRoundTripThroughChromeTraceFile) {
+  obs::Tracer& tracer = obs::Tracer::instance();
+  const std::string path = "obs_trace_test_out.json";
+
+  if (!obs::telemetry_compiled()) {
+    // OFF builds must refuse to arm; nothing else to verify.
+    EXPECT_FALSE(tracer.start(path));
+    return;
+  }
+
+  ASSERT_TRUE(tracer.start(path));
+  EXPECT_FALSE(tracer.start(path)) << "re-arming while armed must fail";
+  {
+    obs::Span outer("outer_span",
+                    [] { return obs::TraceArgs().arg("k", "v").json(); });
+    obs::Span inner("inner_span");
+  }
+  // Spans recorded on pool workers merge into the same trace.
+  {
+    runner::ThreadPool pool(3);
+    runner::parallel_for(pool, 8, [](std::size_t i) {
+      obs::Span span("worker_span", [i] {
+        return obs::TraceArgs().arg("job", i).json();
+      });
+    });
+  }
+  EXPECT_GE(tracer.events_recorded(), 10u);
+  ASSERT_TRUE(tracer.finish());
+  EXPECT_FALSE(tracer.enabled());
+
+  const auto doc = runner::JsonValue::parse(slurp(path));
+  std::remove(path.c_str());
+
+  const runner::JsonValue* metadata = doc.find("metadata");
+  ASSERT_NE(metadata, nullptr);
+  EXPECT_FALSE(metadata->find("build_type")->string.empty());
+  EXPECT_TRUE(metadata->find("telemetry")->boolean);
+
+  ASSERT_NE(doc.find("perigeeMetrics"), nullptr);
+  ASSERT_NE(doc.find("perigeeMetrics")->find("counters"), nullptr);
+
+  const runner::JsonValue* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_GE(events->items.size(), 10u);
+  std::size_t workers_seen = 0;
+  bool outer_seen = false;
+  for (const auto& event : events->items) {
+    EXPECT_EQ(event.find("ph")->string, "X");
+    EXPECT_GE(event.find("ts")->number, 0.0);
+    EXPECT_GE(event.find("dur")->number, 0.0);
+    const std::string& name = event.find("name")->string;
+    if (name == "worker_span") ++workers_seen;
+    if (name == "outer_span") {
+      outer_seen = true;
+      EXPECT_EQ(event.find("args")->find("k")->string, "v");
+    }
+  }
+  EXPECT_EQ(workers_seen, 8u);
+  EXPECT_TRUE(outer_seen);
+
+  // finish() cleared the buffers: the next trace starts empty.
+  EXPECT_EQ(tracer.events_recorded(), 0u);
+}
+
+TEST(ObsMeta, CaptureReportsSaneValues) {
+  const obs::RunMeta meta = obs::capture_run_meta();
+  EXPECT_FALSE(meta.build_type.empty());
+  EXPECT_FALSE(meta.compiler.empty());
+  EXPECT_FALSE(meta.git_sha.empty());
+  EXPECT_EQ(meta.telemetry, obs::telemetry_compiled());
+  EXPECT_GT(meta.num_cpus, 0);
+  EXPECT_GT(meta.peak_rss_kb, 0) << "VmHWM should be readable on Linux";
+  EXPECT_GE(meta.wall_clock_sec, 0.0);
+}
+
+TEST(ObsMeta, WritesAllFieldsAsJson) {
+  const obs::RunMeta meta = obs::capture_run_meta();
+  std::ostringstream os;
+  {
+    runner::JsonWriter writer(os);
+    writer.begin_object();
+    obs::write_run_meta_fields(writer, meta);
+    writer.end_object();
+  }
+  const auto doc = runner::JsonValue::parse(os.str());
+  ASSERT_EQ(doc.members.size(), 8u);
+  EXPECT_EQ(doc.find("build_type")->string, meta.build_type);
+  EXPECT_EQ(doc.find("git_sha")->string, meta.git_sha);
+  EXPECT_EQ(doc.find("peak_rss_kb")->number,
+            static_cast<double>(meta.peak_rss_kb));
+}
+
+}  // namespace
+}  // namespace perigee
