@@ -16,6 +16,7 @@
 #include "scenario/driver.hpp"
 #include "sim/batch.hpp"
 #include "sim/gossip.hpp"
+#include "sim/parallel.hpp"
 #include "sim/rounds.hpp"
 #include "topo/builders.hpp"
 #include "util/stats.hpp"
@@ -64,6 +65,45 @@ void BM_BroadcastCsr(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_BroadcastCsr)->Arg(200)->Arg(1000)->Arg(4000);
+
+// The scale-path pair recorded in BENCH_scale.json: the parallel
+// delta-stepping engine pinned to one worker (settled-once bucket
+// relaxation, byte-identical outputs) and the compact fixed-point engine
+// (u32 snapshot, integer bucket math), both against BM_BroadcastCsr's
+// heap relaxation above.
+void BM_BroadcastParallelDelta(benchmark::State& state) {
+  Fixture f(static_cast<std::size_t>(state.range(0)));
+  const net::CsrTopology csr =
+      net::CsrTopology::build(f.topology, *f.network);
+  sim::ParallelScratch scratch;
+  sim::BroadcastResult result;
+  net::NodeId miner = 0;
+  for (auto _ : state) {
+    sim::simulate_broadcast_parallel(csr, miner, scratch, result);
+    benchmark::DoNotOptimize(result.arrival.data());
+    miner = (miner + 1) % static_cast<net::NodeId>(csr.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BroadcastParallelDelta)->Arg(200)->Arg(1000)->Arg(4000);
+
+void BM_BroadcastCompact(benchmark::State& state) {
+  Fixture f(static_cast<std::size_t>(state.range(0)));
+  const net::CsrTopology csr =
+      net::CsrTopology::build(f.topology, *f.network);
+  const net::CompactCsr compact = net::CompactCsr::build(csr);
+  sim::ParallelScratch scratch;
+  std::vector<std::uint64_t> arrival_q(compact.size());
+  net::NodeId miner = 0;
+  for (auto _ : state) {
+    sim::simulate_broadcast_compact(compact, miner, scratch,
+                                    arrival_q.data());
+    benchmark::DoNotOptimize(arrival_q.data());
+    miner = (miner + 1) % static_cast<net::NodeId>(compact.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BroadcastCompact)->Arg(200)->Arg(1000)->Arg(4000);
 
 // Compile cost of the flat-graph snapshot: amortized over the K blocks of a
 // round (fig grids: K = 100), so it must stay well under K broadcasts.

@@ -5,7 +5,7 @@ BENCH_*.json anchor.
 The anchored quantity is a *speedup ratio* between a fast-path benchmark and
 its baseline (items_per_second of --fast-bench/N divided by
 --baseline-bench/N), which is largely machine-independent — comparing raw ns
-across CI runners would be noise. Three anchor pairs exist today:
+across CI runners would be noise. Anchor pairs today:
 
   BENCH_broadcast.json       broadcast_speedup      BM_BroadcastCsr /
                                                     BM_Broadcast
@@ -13,6 +13,10 @@ across CI runners would be noise. Three anchor pairs exist today:
                                                     BM_MultiSourcePerSourceCsr
   BENCH_incremental_csr.json incremental_csr_speedup BM_CsrChurnRefreshPatch /
                                                     BM_CsrChurnRefreshRebuild
+  BENCH_scale.json           parallel_delta_speedup BM_BroadcastParallelDelta /
+                                                    BM_BroadcastCsr
+  BENCH_scale.json           compact_speedup        BM_BroadcastCompact /
+                                                    BM_BroadcastCsr
 
 If the current ratio falls more than --max-regression below the anchor's
 ratio, a GitHub Actions ::warning:: annotation is emitted.

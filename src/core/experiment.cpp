@@ -181,6 +181,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
                              : sim::RoundRunner::Engine::Fast);
     runner.set_thread_pool(engine_pool.get());
     runner.set_csr_patching(config.incremental_csr);
+    runner.set_relax_engine(config.relax_engine);
 
     std::unique_ptr<net::AddrMan> addrman;
     if (config.partial_view) {
@@ -368,6 +369,7 @@ IncrementalResult run_incremental(const ExperimentConfig& config,
                           config.seed);
   runner.set_thread_pool(engine_pool.get());
   runner.set_csr_patching(config.incremental_csr);
+  runner.set_relax_engine(config.relax_engine);
   std::unique_ptr<scn::ChurnDriver> churn;
   if (config.scenario.churn.enabled()) {
     churn = std::make_unique<scn::ChurnDriver>(config.scenario.churn,

@@ -14,6 +14,7 @@
 #include "net/network.hpp"
 #include "net/topology.hpp"
 #include "scenario/scenario.hpp"
+#include "sim/parallel.hpp"
 #include "topo/relay.hpp"
 
 namespace perigee::core {
@@ -82,6 +83,14 @@ struct ExperimentConfig {
   // disabling it only changes wall-clock — kept as a switch for A/B
   // measurement (BENCH_incremental_csr.json) and bisection.
   bool incremental_csr = true;
+
+  // Relaxation backend for the Fast engine's block batches: the batched
+  // bucket-queue engine (default; parallelizes across a round's sources) or
+  // the parallel delta-stepping engine (parallelizes within each source —
+  // the scale shape for large n with few blocks). Outputs are byte-identical
+  // either way (tests/sim_engine_diff_test.cpp pins it), so like
+  // `engine_jobs` this is a wall-clock A/B switch, not a sweep axis.
+  sim::RelaxEngine relax_engine = sim::RelaxEngine::Batched;
 
   // Master seed: drives network construction, hash power, initial topology,
   // mining and exploration.

@@ -215,6 +215,13 @@ class Histogram {
     perigee_g_.max(static_cast<std::int64_t>(value));      \
   } while (0)
 
+/// Sets the gauge `name` to `value` (last writer wins).
+#define PERIGEE_GAUGE_SET(name, value)                     \
+  do {                                                     \
+    static const ::perigee::obs::Gauge perigee_g_{(name)}; \
+    perigee_g_.set(static_cast<std::int64_t>(value));      \
+  } while (0)
+
 #else  // !PERIGEE_TELEMETRY
 
 #define PERIGEE_TELEMETRY_ONLY(...)
@@ -225,6 +232,9 @@ class Histogram {
   do {                                         \
   } while (0)
 #define PERIGEE_GAUGE_MAX(name, value) \
+  do {                                 \
+  } while (0)
+#define PERIGEE_GAUGE_SET(name, value) \
   do {                                 \
   } while (0)
 

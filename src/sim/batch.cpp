@@ -195,6 +195,19 @@ void MultiSourceScratch::ensure_lanes(std::size_t count) {
   }
 }
 
+std::size_t MultiSourceScratch::memory_bytes() const {
+  std::size_t bytes = 0;
+  for (const auto& lane : lanes_) {
+    bytes += lane->queue.memory_bytes() +
+             lane->heap.capacity() * sizeof(HeapItem) +
+             (lane->arrival.capacity() + lane->ready.capacity()) *
+                 sizeof(double) +
+             (lane->by_arrival.capacity() + lane->sort_scratch.capacity()) *
+                 sizeof(std::pair<double, double>);
+  }
+  return bytes;
+}
+
 void simulate_broadcast_batch(const net::CsrTopology& csr,
                               std::span<const net::NodeId> sources,
                               MultiSourceScratch& scratch,
@@ -216,6 +229,7 @@ void simulate_broadcast_batch(const net::CsrTopology& csr,
              solve_one(csr, plan, scratch.lane(lane_idx), sources[s],
                        out.arrival.data() + s * n, out.ready.data() + s * n);
            });
+  PERIGEE_GAUGE_MAX("mem.batch_scratch_bytes", scratch.memory_bytes());
 }
 
 void for_each_source_broadcast(const net::CsrTopology& csr,

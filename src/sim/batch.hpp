@@ -91,6 +91,12 @@ class MultiSourceScratch {
   /// Grows the pool to at least `count` lanes.
   void ensure_lanes(std::size_t count);
 
+  /// Heap bytes across all lanes; reported through the
+  /// `mem.batch_scratch_bytes` obs gauge after each batch (memory-budget
+  /// accounting for the scale path, next to `mem.csr_bytes` and
+  /// `mem.parallel_scratch_bytes`).
+  std::size_t memory_bytes() const;
+
  private:
   std::vector<std::unique_ptr<Lane>> lanes_;
 };

@@ -88,6 +88,15 @@ class BucketQueue {
 #endif
   }
 
+  /// Heap bytes behind the ring (slot vectors keep their capacity across
+  /// `reset`, so this is the lane's steady-state footprint).
+  std::size_t memory_bytes() const {
+    std::size_t bytes = ring_.capacity() * sizeof(ring_[0]) +
+                        occupied_.capacity() * sizeof(std::uint64_t);
+    for (const auto& vec : ring_) bytes += vec.capacity() * sizeof(Entry);
+    return bytes;
+  }
+
   /// Inserts an entry. Contract (unchecked in the hot path): `reset` was
   /// called at least once, and `key` is finite, >= 0, and >= the key of the
   /// last `pop` (the Dijkstra monotonicity this queue is built for).

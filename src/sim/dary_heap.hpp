@@ -11,6 +11,7 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -20,11 +21,17 @@ namespace perigee::sim {
 
 inline constexpr std::size_t kHeapArity = 4;
 
-/// One heap element: (arrival-time key, node).
+/// One heap element: (arrival-time key, node). The functions below are
+/// templated so the compact fixed-point engine can reuse them with
+/// integer-keyed items; lexicographic `operator<` defines the order either
+/// way.
 using HeapItem = std::pair<double, net::NodeId>;
 
-/// Sift-up insertion.
-inline void heap_push(std::vector<HeapItem>& heap, HeapItem item) {
+/// Sift-up insertion. The item parameter is a non-deduced context so braced
+/// initializers keep working at call sites; `Item` comes from the vector.
+template <typename Item>
+inline void heap_push(std::vector<Item>& heap,
+                      std::type_identity_t<Item> item) {
   std::size_t i = heap.size();
   heap.push_back(item);
   while (i > 0) {
@@ -37,9 +44,10 @@ inline void heap_push(std::vector<HeapItem>& heap, HeapItem item) {
 }
 
 /// Pops the lexicographic minimum. Precondition: `!heap.empty()`.
-inline HeapItem heap_pop(std::vector<HeapItem>& heap) {
-  const HeapItem top = heap.front();
-  const HeapItem last = heap.back();
+template <typename Item>
+inline Item heap_pop(std::vector<Item>& heap) {
+  const Item top = heap.front();
+  const Item last = heap.back();
   heap.pop_back();
   const std::size_t n = heap.size();
   if (n == 0) return top;

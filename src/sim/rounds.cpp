@@ -56,8 +56,27 @@ void RoundRunner::run_round() {
     for (auto& miner : miners_) {
       miner = static_cast<net::NodeId>(sampler_.sample(miner_rng_));
     }
-    simulate_broadcast_batch(csr, miners_, batch_scratch_, batch_result_,
-                             pool_);
+    if (relax_engine_ == RelaxEngine::ParallelDelta) {
+      // Same stripe layout as the batched engine, but each source runs
+      // through the delta-stepping team (workers cooperate *within* a
+      // block instead of fanning out across blocks — the winning shape
+      // when n is large and K small). Stripe bytes are identical either
+      // way, so everything downstream is too.
+      const std::size_t n = csr.size();
+      batch_result_.nodes = n;
+      batch_result_.sources.assign(miners_.begin(), miners_.end());
+      batch_result_.arrival.resize(miners_.size() * n);
+      batch_result_.ready.resize(miners_.size() * n);
+      for (std::size_t b = 0; b < miners_.size(); ++b) {
+        simulate_broadcast_parallel(csr, miners_[b], parallel_scratch_,
+                                    batch_result_.arrival.data() + b * n,
+                                    batch_result_.ready.data() + b * n,
+                                    pool_);
+      }
+    } else {
+      simulate_broadcast_batch(csr, miners_, batch_scratch_, batch_result_,
+                               pool_);
+    }
     for (std::size_t b = 0; b < miners_.size(); ++b) {
       if (block_hook_) {
         batch_result_.extract(b, block_result_);

@@ -28,6 +28,7 @@
 #include "net/topology.hpp"
 #include "sim/batch.hpp"
 #include "sim/observations.hpp"
+#include "sim/parallel.hpp"
 #include "sim/selector.hpp"
 
 namespace perigee::runner {
@@ -82,6 +83,15 @@ class RoundRunner {
   /// count, so this only changes wall-clock.
   void set_thread_pool(runner::ThreadPool* pool) { pool_ = pool; }
 
+  /// Selects the relaxation backend for the Fast engine's block batch:
+  /// the sequential batched bucket-queue engine (default, parallel across
+  /// the round's K sources) or the parallel delta-stepping engine
+  /// (parallel within each source — the scale path for large n with small
+  /// K). Outputs are byte-identical either way (the engine-diff suite pins
+  /// it), so like `set_thread_pool` this only changes wall-clock.
+  void set_relax_engine(RelaxEngine engine) { relax_engine_ = engine; }
+  RelaxEngine relax_engine() const { return relax_engine_; }
+
   /// Disables (or re-enables) the incremental journal-patch path of the
   /// runner's CSR cache: with `enabled` false every rewired round pays a
   /// full flat-graph recompile, the pre-journal behavior. Patched and
@@ -129,6 +139,8 @@ class RoundRunner {
   std::vector<net::NodeId> miners_; // the round's pre-sampled miner batch
   MultiSourceScratch batch_scratch_;  // engine arena, reused across rounds
   MultiSourceResult batch_result_;    // SoA stripes, reused across rounds
+  RelaxEngine relax_engine_ = RelaxEngine::Batched;
+  ParallelScratch parallel_scratch_;  // delta-stepping lanes, lazily grown
   BroadcastResult block_result_;    // reused per-block shim for hooks
   std::size_t rounds_run_ = 0;
   runner::ThreadPool* pool_ = nullptr;  // borrowed; null = inline blocks

@@ -7,12 +7,17 @@
 // overlays, disconnected fragments — each asserting that
 //
 //      legacy Topology walk  ≡  single-source CSR  ≡  batched engine
+//                            ≡  parallel delta-stepping engine
 //
 // byte-for-byte on the arrival AND ready vectors (memcmp of the doubles, so
 // even a one-ulp divergence or a -0.0 fails). The legacy engine is the
 // oracle; the batched engine additionally runs both its bucket-queue fast
 // path and (where the graph forces it) the heap fallback, and once more
 // through a ThreadPool to pin the any-worker-count determinism contract.
+// The parallel delta-stepping engine runs at worker counts 1, 2, and 4 in
+// every regime (including the zero-δ heap-fallback, disconnected, and
+// churn-patched shapes), and the compact fixed-point engine is held to its
+// own oracle: exact u64 arrival equality across the same worker counts.
 //
 // Each regime additionally drives the incremental compile path: a CsrCache
 // snapshot is patched from the topology's mutation journal after a rewiring
@@ -21,6 +26,7 @@
 // a full round-loop A/B against forced recompiles.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstring>
 #include <vector>
 
@@ -33,6 +39,7 @@
 #include "scenario/scenario.hpp"
 #include "sim/batch.hpp"
 #include "sim/broadcast.hpp"
+#include "sim/parallel.hpp"
 #include "topo/builders.hpp"
 #include "util/rng.hpp"
 
@@ -55,8 +62,10 @@ namespace {
   return ::testing::AssertionSuccess();
 }
 
-// One differential case: all three engines from a spread of miners, batched
-// engine both inline and across a 3-worker pool.
+// One differential case: all engines from a spread of miners, batched
+// engine both inline and across a 3-worker pool, the parallel
+// delta-stepping engine at worker counts 1/2/4, and the compact
+// fixed-point engine held jobs-invariant on exact u64 keys.
 void expect_three_engine_parity(const net::Topology& topology,
                                 const net::Network& network,
                                 const char* regime, std::uint64_t seed) {
@@ -77,10 +86,17 @@ void expect_three_engine_parity(const net::Topology& topology,
   sim::simulate_broadcast_batch(csr, miners, scratch, batched);
 
   sim::MultiSourceResult pooled;
+  runner::ThreadPool pool2(2);
+  runner::ThreadPool pool4(4);
   {
     runner::ThreadPool pool(3);
     sim::simulate_broadcast_batch(csr, miners, scratch, pooled, &pool);
   }
+
+  const net::CompactCsr compact = net::CompactCsr::build(csr);
+  sim::ParallelScratch parallel_scratch;
+  sim::BroadcastResult par1, par2, par4;
+  std::vector<std::uint64_t> q1(n), q2(n), q4(n);
 
   sim::BroadcastScratch csr_scratch;
   sim::BroadcastResult via_csr;
@@ -95,6 +111,36 @@ void expect_three_engine_parity(const net::Topology& topology,
     EXPECT_TRUE(bytes_equal(batched.ready_of(s), legacy.ready));
     EXPECT_TRUE(bytes_equal(pooled.arrival_of(s), batched.arrival_of(s)));
     EXPECT_TRUE(bytes_equal(pooled.ready_of(s), batched.ready_of(s)));
+
+    // Parallel delta-stepping: byte-identical to the legacy oracle at any
+    // worker count (1 = inline, 2 and 4 = barrier teams).
+    sim::simulate_broadcast_parallel(csr, miners[s], parallel_scratch, par1);
+    sim::simulate_broadcast_parallel(csr, miners[s], parallel_scratch, par2,
+                                     &pool2);
+    sim::simulate_broadcast_parallel(csr, miners[s], parallel_scratch, par4,
+                                     &pool4);
+    EXPECT_TRUE(bytes_equal(par1.arrival, legacy.arrival));
+    EXPECT_TRUE(bytes_equal(par1.ready, legacy.ready));
+    EXPECT_TRUE(bytes_equal(par2.arrival, legacy.arrival));
+    EXPECT_TRUE(bytes_equal(par2.ready, legacy.ready));
+    EXPECT_TRUE(bytes_equal(par4.arrival, legacy.arrival));
+    EXPECT_TRUE(bytes_equal(par4.ready, legacy.ready));
+
+    // Compact fixed-point world: its own oracle is itself at one worker —
+    // exact u64 equality across worker counts (integer math end to end).
+    sim::simulate_broadcast_compact(compact, miners[s], parallel_scratch,
+                                    q1.data());
+    sim::simulate_broadcast_compact(compact, miners[s], parallel_scratch,
+                                    q2.data(), &pool2);
+    sim::simulate_broadcast_compact(compact, miners[s], parallel_scratch,
+                                    q4.data(), &pool4);
+    EXPECT_EQ(q1, q2);
+    EXPECT_EQ(q1, q4);
+    // And it must agree with the double world on reachability exactly.
+    for (net::NodeId v = 0; v < n; ++v) {
+      EXPECT_EQ(q1[v] == sim::kUnreachedQ, !std::isfinite(legacy.arrival[v]))
+          << "node " << v;
+    }
   }
 }
 

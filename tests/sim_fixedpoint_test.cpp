@@ -1,0 +1,201 @@
+// Property suite for the fixed-point delay grid (util/fixedpoint.hpp) and
+// the compact CSR snapshot built on it (net::CompactCsr):
+//
+//  - quantization is an exact floor (dequantize(q(x)) <= x < next cell) and
+//    therefore order-preserving — ties allowed, inversions never — over
+//    random delay distributions spanning several magnitudes;
+//  - quantization error is one-sided and strictly below step();
+//  - `fit` puts the largest value in [2^(bits-1), 2^bits): maximal
+//    resolution that still fits the target width;
+//  - `bucket_width_shift` never violates the delta-stepping ceiling
+//    2 * width <= min-delay, as an exact integer inequality;
+//  - a CompactCsr transcribes its source snapshot faithfully (rows, flags,
+//    floor-quantized delays, exact min/max), costs less memory, and its
+//    engine's arrivals lower-approximate the double oracle within the
+//    per-hop error bound.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "net/csr.hpp"
+#include "net/network.hpp"
+#include "net/topology.hpp"
+#include "sim/broadcast.hpp"
+#include "sim/parallel.hpp"
+#include "topo/builders.hpp"
+#include "util/fixedpoint.hpp"
+#include "util/rng.hpp"
+
+namespace perigee {
+namespace {
+
+// Random positive delays spanning several orders of magnitude, plus the
+// exact edge values a uniform generator would miss.
+std::vector<double> delay_samples(std::uint64_t seed, double max_value) {
+  util::Rng rng(seed);
+  std::vector<double> xs;
+  for (int i = 0; i < 2000; ++i) {
+    // uniform() in (0,1); cubing skews mass towards tiny delays, the regime
+    // where floor quantization has the most relative effect.
+    const double u = rng.uniform();
+    xs.push_back(u * u * u * max_value);
+  }
+  xs.push_back(0.0);
+  xs.push_back(max_value);
+  xs.push_back(std::nextafter(max_value, 0.0));
+  xs.push_back(max_value / 3.0);
+  return xs;
+}
+
+TEST(FixedPoint, QuantizeIsAnExactFloorWithBoundedOneSidedError) {
+  for (const double max_value : {1.0, 7.3, 250.0, 12345.678}) {
+    const auto scale = util::FixedPointScale::fit(max_value, 31);
+    for (const double x : delay_samples(99, max_value)) {
+      const std::uint64_t q = scale.quantize(x);
+      // Exact floor: x lands in [cell q, cell q+1).
+      EXPECT_LE(scale.dequantize(q), x);
+      EXPECT_LT(x, scale.dequantize(q + 1));
+      // One-sided error strictly below one grid step.
+      const double err = x - scale.dequantize(q);
+      EXPECT_GE(err, 0.0);
+      EXPECT_LT(err, scale.step());
+    }
+  }
+}
+
+TEST(FixedPoint, QuantizationPreservesOrder) {
+  for (const double max_value : {2.0, 610.5}) {
+    const auto scale = util::FixedPointScale::fit(max_value, 31);
+    auto xs = delay_samples(7, max_value);
+    std::sort(xs.begin(), xs.end());
+    for (std::size_t i = 1; i < xs.size(); ++i) {
+      // Monotone: ties may appear, inversions may not.
+      EXPECT_LE(scale.quantize(xs[i - 1]), scale.quantize(xs[i]))
+          << xs[i - 1] << " vs " << xs[i];
+    }
+  }
+}
+
+TEST(FixedPoint, FitTargetsTheRequestedBitWidth) {
+  for (const double max_value : {1e-6, 0.5, 1.0, 3.0, 4096.0, 9.9e7}) {
+    for (const int bits : {20, 31}) {
+      const auto scale = util::FixedPointScale::fit(max_value, bits);
+      const std::uint64_t q = scale.quantize(max_value);
+      EXPECT_GE(q, std::uint64_t{1} << (bits - 1)) << max_value;
+      EXPECT_LT(q, std::uint64_t{1} << bits) << max_value;
+    }
+  }
+  // Degenerate maxima get the unit grid instead of UB.
+  EXPECT_EQ(util::FixedPointScale::fit(0.0, 31).exponent, 0);
+  EXPECT_EQ(util::FixedPointScale::fit(-1.0, 31).exponent, 0);
+}
+
+TEST(FixedPoint, BucketWidthShiftNeverViolatesTheHalfMinDelayCeiling) {
+  // No admissible width below q = 2 (width 1 would need 2 * 1 <= q).
+  EXPECT_FALSE(util::bucket_width_shift(0).has_value());
+  EXPECT_FALSE(util::bucket_width_shift(1).has_value());
+  util::Rng rng(11);
+  std::vector<std::uint64_t> qs = {2, 3, 4, 5, 7, 8, 1023, 1024,
+                                   (std::uint64_t{1} << 52) - 1};
+  for (int i = 0; i < 500; ++i) {
+    qs.push_back(2 + rng.uniform_index((std::uint64_t{1} << 40)));
+  }
+  for (const std::uint64_t q : qs) {
+    const auto shift = util::bucket_width_shift(q);
+    ASSERT_TRUE(shift.has_value()) << q;
+    ASSERT_GE(*shift, 0) << q;
+    const std::uint64_t width = std::uint64_t{1} << *shift;
+    // The delta-stepping ceiling, exact: twice the width fits under the
+    // quantized min delay...
+    EXPECT_LE(2 * width, q) << q;
+    // ... and the width is maximal: one doubling would break the ceiling.
+    EXPECT_GT(4 * width, q) << q;
+  }
+}
+
+net::CsrTopology build_random_csr(std::size_t n, std::uint64_t seed) {
+  net::NetworkOptions options;
+  options.n = n;
+  options.seed = seed;
+  const net::Network network = net::Network::build(options);
+  net::Topology topology(n);
+  util::Rng rng(seed);
+  topo::build_random(topology, rng);
+  return net::CsrTopology::build(topology, network);
+}
+
+TEST(FixedPoint, CompactCsrTranscribesTheSnapshotExactly) {
+  const net::CsrTopology csr = build_random_csr(120, 17);
+  const net::CompactCsr compact = net::CompactCsr::build(csr);
+
+  ASSERT_EQ(compact.size(), csr.size());
+  ASSERT_EQ(compact.num_links(), csr.num_links());
+  const auto& scale = compact.scale();
+  std::uint32_t min_q = std::numeric_limits<std::uint32_t>::max();
+  std::uint32_t max_q = 0;
+  for (net::NodeId v = 0; v < csr.size(); ++v) {
+    EXPECT_EQ(compact.forwards(v), csr.forwards(v)) << v;
+    EXPECT_EQ(compact.validation_q(v), scale.quantize(csr.validation_ms(v)))
+        << v;
+    const auto peers = csr.peers(v);
+    const auto delays = csr.delays(v);
+    const std::uint32_t begin = compact.offsets()[v];
+    ASSERT_EQ(compact.offsets()[v + 1] - begin, peers.size()) << v;
+    for (std::size_t i = 0; i < peers.size(); ++i) {
+      EXPECT_EQ(compact.peer_data()[begin + i], peers[i]);
+      const std::uint32_t dq = compact.delay_data()[begin + i];
+      EXPECT_EQ(dq, scale.quantize(delays[i]));
+      min_q = std::min(min_q, dq);
+      max_q = std::max(max_q, dq);
+    }
+  }
+  EXPECT_EQ(compact.min_delay_q(), min_q);
+  EXPECT_EQ(compact.max_delay_q(), max_q);
+  // The point of the exercise: a strictly smaller snapshot (u32 ids + one
+  // u32 delay channel vs size_t offsets + two double channels + slack).
+  EXPECT_LT(compact.memory_bytes(), csr.memory_bytes());
+}
+
+TEST(FixedPoint, CompactArrivalsLowerApproximateTheDoubleOracle) {
+  for (const std::uint64_t seed : {3u, 29u, 71u}) {
+    const net::CsrTopology csr = build_random_csr(100, seed);
+    const net::CompactCsr compact = net::CompactCsr::build(csr);
+    const auto& scale = compact.scale();
+
+    sim::BroadcastScratch scratch;
+    sim::BroadcastResult oracle;
+    sim::ParallelScratch parallel_scratch;
+    std::vector<std::uint64_t> arrival_q(csr.size());
+    for (const net::NodeId src : {net::NodeId{0}, net::NodeId{41}}) {
+      sim::simulate_broadcast(csr, src, scratch, oracle);
+      sim::simulate_broadcast_compact(compact, src, parallel_scratch,
+                                      arrival_q.data());
+      // Every term of every path underestimates by < step(), and a path
+      // visits at most n nodes contributing a validation + an edge delay
+      // each: the dequantized arrival sits within 2n steps below the
+      // oracle. (A shorter bound would need per-path hop counts; this one
+      // is already ~10^-3 relative at n = 100 and 31-bit grids.)
+      const double bound =
+          2.0 * static_cast<double>(csr.size()) * scale.step();
+      // fl-vs-exact accumulation noise in the double oracle is orders of
+      // magnitude below step(); this slack covers it.
+      const double fl_slack = 1e-6;
+      for (net::NodeId v = 0; v < csr.size(); ++v) {
+        if (!std::isfinite(oracle.arrival[v])) {
+          EXPECT_EQ(arrival_q[v], sim::kUnreachedQ) << "node " << v;
+          continue;
+        }
+        ASSERT_NE(arrival_q[v], sim::kUnreachedQ) << "node " << v;
+        const double approx = scale.dequantize(arrival_q[v]);
+        EXPECT_LE(approx, oracle.arrival[v] + fl_slack) << "node " << v;
+        EXPECT_GE(approx, oracle.arrival[v] - bound) << "node " << v;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace perigee
