@@ -1,12 +1,14 @@
 // Unified sweep driver: runs any named figure or scenario grid (or a custom
 // cartesian grid over algorithm / n / rounds / hash model / validation scale
-// / relay / churn rate / heterogeneity profile / withholding fraction)
-// end-to-end on the parallel SweepRunner and writes BENCH_<name>.json.
+// / relay / churn rate / heterogeneity profile / withholding fraction /
+// transmission model) end-to-end on the parallel SweepRunner and writes
+// BENCH_<name>.json.
 //
 //   perigee_sweep --figure fig3a --jobs 8
-//   perigee_sweep --figure churn --seeds 2 --jobs 0
+//   perigee_sweep --figure congestion --seeds 2 --jobs 0
 //   perigee_sweep --algorithms random,perigee-subset,ideal
 //       --nodes 200,400 --churn 0,0.05 --seeds 3 --jobs 4 --json grid.json
+//   perigee_sweep --transmission delay,queue --hetero off,bandwidth
 //
 // Results are bit-identical at any --jobs value; see src/runner/sweep.hpp.
 #include <iostream>
@@ -161,6 +163,25 @@ runner::SweepSpec adversary_grid() {
   return spec;
 }
 
+// Bandwidth congestion: delay-only vs the queued egress engine, with and
+// without the two-tier bandwidth mix. Under "queue" + "bandwidth" the slow
+// tier's token buckets throttle block serialization, so the grid shows how
+// much of Perigee's advantage survives when links saturate (the analytic
+// per-hop block term stays off under queue — the engine owns transmission;
+// see docs/TRANSMISSION_MODEL.md).
+runner::SweepSpec congestion_grid() {
+  runner::SweepSpec spec;
+  spec.name = "congestion";
+  spec.base.net.n = 200;
+  spec.base.rounds = 12;
+  spec.algorithms = {core::Algorithm::Random, core::Algorithm::PerigeeSubset};
+  spec.transmission_models = {scenario::TransmissionModel::Delay,
+                              scenario::TransmissionModel::Queue};
+  spec.hetero_profiles = {scenario::HeteroProfile::Off,
+                          scenario::HeteroProfile::Bandwidth};
+  return spec;
+}
+
 // CI-sized smoke grid: every adaptive variant on a small network.
 runner::SweepSpec baseline() {
   runner::SweepSpec spec;
@@ -182,6 +203,7 @@ constexpr Figure kFigures[] = {
     {"churn", "node churn rate sweep (scenario)", churn_grid},
     {"hetero", "heterogeneous capability tiers (scenario)", hetero_grid},
     {"adversary", "withholding-fraction sweep (scenario)", adversary_grid},
+    {"congestion", "delay vs queued egress engine (scenario)", congestion_grid},
     {"baseline", "CI-sized smoke grid (n=200)", baseline},
 };
 
@@ -205,6 +227,9 @@ int main(int argc, char** argv) {
                    "datacenter");
   flags.add_string("withhold", "",
                    "CSV withholding-fraction axis, e.g. 0,0.1,0.2");
+  flags.add_string("transmission", "",
+                   "CSV transmission-model axis: delay (pure propagation) "
+                   "and/or queue (token-bucket egress engine)");
   flags.add_int("seeds", 0, "repetitions per cell (0 = keep preset/default)");
   flags.add_int("seed", 1, "base seed");
   flags.add_double("coverage", 0.90, "hash-power coverage for lambda");
@@ -380,6 +405,18 @@ int main(int argc, char** argv) {
         return 1;
       }
       spec.withhold_fractions.push_back(*v);
+    }
+  }
+  if (const auto& csv = flags.get_string("transmission"); !csv.empty()) {
+    spec.transmission_models.clear();
+    for (const auto& item : split_csv(csv)) {
+      const auto model = scenario::transmission_model_from_name(item);
+      if (!model) {
+        std::cerr << "unknown transmission model '" << item
+                  << "' (delay, queue)\n";
+        return 1;
+      }
+      spec.transmission_models.push_back(*model);
     }
   }
   if (const auto seeds = static_cast<int>(flags.get_int("seeds")); seeds > 0) {

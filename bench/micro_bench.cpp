@@ -15,6 +15,7 @@
 #include "net/csr.hpp"
 #include "scenario/driver.hpp"
 #include "sim/batch.hpp"
+#include "sim/egress.hpp"
 #include "sim/gossip.hpp"
 #include "sim/parallel.hpp"
 #include "sim/rounds.hpp"
@@ -104,6 +105,53 @@ void BM_BroadcastCompact(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_BroadcastCompact)->Arg(200)->Arg(1000)->Arg(4000);
+
+// The queuing-engine pair recorded in BENCH_queuing.json. The egress DES
+// (sim/egress.hpp) runs twice: in its ∞-rate parity corner, where it
+// computes the exact BM_BroadcastCsr arrivals through the event loop — so
+// egress_unlimited_speedup (this / BM_BroadcastCsr items_per_second) prices
+// the pure DES overhead and the soft gate bars it at n=1000 — and under
+// finite profile rates with 200 KB blocks plus INV chatter, the congestion
+// grid's per-block workload (egress_queue_speedup, recorded alongside).
+void BM_BroadcastEgressUnlimited(benchmark::State& state) {
+  Fixture f(static_cast<std::size_t>(state.range(0)));
+  const net::CsrTopology csr =
+      net::CsrTopology::build(f.topology, *f.network);
+  sim::EgressConfig config;
+  config.unlimited_rate = true;
+  config.block_bytes = 0.0;
+  config.control_bytes = 0.0;
+  const sim::EgressPlan plan = sim::EgressPlan::build(*f.network, config);
+  sim::EgressScratch scratch;
+  sim::BroadcastResult result;
+  net::NodeId miner = 0;
+  for (auto _ : state) {
+    sim::simulate_broadcast_egress(csr, config, plan, miner, scratch, result);
+    benchmark::DoNotOptimize(result.arrival.data());
+    miner = (miner + 1) % static_cast<net::NodeId>(csr.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BroadcastEgressUnlimited)->Arg(200)->Arg(1000)->Arg(4000);
+
+void BM_BroadcastEgress(benchmark::State& state) {
+  Fixture f(static_cast<std::size_t>(state.range(0)));
+  const net::CsrTopology csr =
+      net::CsrTopology::build(f.topology, *f.network);
+  sim::EgressConfig config;  // 200 KB blocks over 33 Mbit/s profile rates
+  config.control_bytes = 1000.0;
+  const sim::EgressPlan plan = sim::EgressPlan::build(*f.network, config);
+  sim::EgressScratch scratch;
+  sim::BroadcastResult result;
+  net::NodeId miner = 0;
+  for (auto _ : state) {
+    sim::simulate_broadcast_egress(csr, config, plan, miner, scratch, result);
+    benchmark::DoNotOptimize(result.arrival.data());
+    miner = (miner + 1) % static_cast<net::NodeId>(csr.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BroadcastEgress)->Arg(200)->Arg(1000)->Arg(4000);
 
 // Compile cost of the flat-graph snapshot: amortized over the K blocks of a
 // round (fig grids: K = 100), so it must stay well under K broadcasts.

@@ -17,6 +17,8 @@ across CI runners would be noise. Anchor pairs today:
                                                     BM_BroadcastCsr
   BENCH_scale.json           compact_speedup        BM_BroadcastCompact /
                                                     BM_BroadcastCsr
+  BENCH_queuing.json         egress_unlimited_speedup BM_BroadcastEgressUnlimited /
+                                                    BM_BroadcastCsr
 
 If the current ratio falls more than --max-regression below the anchor's
 ratio, a GitHub Actions ::warning:: annotation is emitted.

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Docs link check: every relative markdown link must point at a real file.
+
+Scans the hand-written markdown (README.md, ARCHITECTURE.md, PAPER_MAP.md,
+ROADMAP.md, docs/*.md) for inline links `[text](target)`, resolves each
+relative target against the file that contains it, and fails with a GitHub
+Actions ::error:: annotation when the target does not exist. External
+schemes (http/https/mailto) and pure in-page anchors (#section) are skipped;
+a `path#anchor` target is checked for the path part only — anchor slugs are
+renderer-specific and not worth pinning.
+
+Unlike the perf gates this is a hard gate: a dangling doc link is always a
+bug, never runner noise.
+
+Usage:
+  check_doc_links.py [root]   # root defaults to the repo root (script/..)
+"""
+
+import pathlib
+import re
+import sys
+
+# Inline markdown links, excluding images' alt-text edge cases handled the
+# same way: capture the target between the parentheses.
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def doc_files(root: pathlib.Path):
+    for name in ("README.md", "ARCHITECTURE.md", "PAPER_MAP.md",
+                 "ROADMAP.md", "CHANGES.md", "PAPER.md"):
+        path = root / name
+        if path.exists():
+            yield path
+    yield from sorted((root / "docs").glob("*.md"))
+
+
+def main():
+    root = pathlib.Path(sys.argv[1]) if len(sys.argv) > 1 else (
+        pathlib.Path(__file__).resolve().parent.parent)
+    errors = 0
+    checked = 0
+    for doc in doc_files(root):
+        text = doc.read_text(encoding="utf-8")
+        for match in LINK.finditer(text):
+            target = match.group(1)
+            if target.startswith(SKIP_PREFIXES):
+                continue
+            path_part = target.split("#", 1)[0]
+            if not path_part:
+                continue
+            checked += 1
+            resolved = (doc.parent / path_part).resolve()
+            if not resolved.exists():
+                line = text.count("\n", 0, match.start()) + 1
+                rel = doc.relative_to(root)
+                print(f"::error file={rel},line={line}::dangling link "
+                      f"'{target}' (resolved {resolved})")
+                errors += 1
+    print(f"checked {checked} relative links, {errors} dangling")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <functional>
+#include <optional>
 
 #include "metrics/edge_hist.hpp"
 #include "metrics/eval.hpp"
@@ -9,6 +10,7 @@
 #include "obs/trace.hpp"
 #include "runner/thread_pool.hpp"
 #include "scenario/driver.hpp"
+#include "sim/egress.hpp"
 #include "sim/rounds.hpp"
 #include "topo/builders.hpp"
 #include "topo/coordinates.hpp"
@@ -22,21 +24,60 @@ namespace scn = perigee::scenario;
 namespace perigee::core {
 namespace {
 
+// The scenario layer's KB-denominated transmission regime, converted to the
+// engine's byte-denominated config (1 KB = 1000 bytes, matching the
+// kilobyte/Mbit arithmetic of net::Network::edge_delay_from_link_ms).
+sim::EgressConfig egress_config_from(const scn::TransmissionRegime& regime) {
+  sim::EgressConfig config;
+  config.block_bytes = regime.block_kb * 1000.0;
+  config.control_bytes = regime.control_kb * 1000.0;
+  config.compact_blocks = regime.compact_blocks;
+  config.rate_scale = regime.rate_scale;
+  config.burst_bytes = regime.burst_kb * 1000.0;
+  return config;
+}
+
+// The experiment's λ-evaluation state: delay-only by default, or the
+// queued-transmission engine when the scenario's transmission regime is
+// active. One instance serves the round loop's checkpoints and the final
+// coverage evaluations, so scratch arenas and the rate plan are shared.
+struct EvalEngine {
+  sim::MultiSourceScratch scratch;
+  std::optional<sim::EgressConfig> egress;
+  sim::EgressPlanCache plans;     // rebuilt when profiles change (churn)
+  sim::EgressScratch egress_scratch;
+
+  explicit EvalEngine(const ExperimentConfig& config) {
+    if (config.scenario.transmission.enabled()) {
+      egress = egress_config_from(config.scenario.transmission);
+    }
+  }
+
+  std::vector<double> lambda(const net::CsrTopology& csr,
+                             const net::Network& network, double coverage,
+                             runner::ThreadPool* pool) {
+    if (egress.has_value()) {
+      return metrics::eval_all_sources_egress(
+          csr, network, *egress, plans.get(network, *egress), coverage,
+          &egress_scratch, pool);
+    }
+    return metrics::eval_all_sources(csr, network, coverage, &scratch, pool);
+  }
+};
+
 // Checkpoint evaluation over an already-compiled snapshot (the round
 // runner's cache), sharing the experiment's engine scratch and pool: no
 // per-checkpoint compile, no per-checkpoint arena.
 Checkpoint make_checkpoint(std::size_t blocks_mined,
                            const net::CsrTopology& csr,
                            const net::Network& network, double coverage,
-                           sim::MultiSourceScratch& scratch,
-                           runner::ThreadPool* pool) {
+                           EvalEngine& eval, runner::ThreadPool* pool) {
   Checkpoint cp;
   cp.blocks_mined = blocks_mined;
   PERIGEE_TRACE_SPAN_ARGS(
       checkpoint_span, "checkpoint_eval",
       obs::TraceArgs().arg("blocks_mined", blocks_mined).json());
-  const auto lambda =
-      metrics::eval_all_sources(csr, network, coverage, &scratch, pool);
+  const auto lambda = eval.lambda(csr, network, coverage, pool);
   cp.mean_lambda = util::mean(lambda);
   cp.median_lambda = util::percentile(lambda, 0.5);
   return cp;
@@ -140,14 +181,19 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
       engine_pool = std::make_unique<runner::ThreadPool>(workers);
     }
   }
-  sim::MultiSourceScratch eval_scratch;
+  // The message-level gossip engine scores neighbors by INV announcement
+  // times and has no per-message serialization model; the queued regime is
+  // a Fast-engine axis only.
+  PERIGEE_ASSERT_MSG(
+      !(config.message_level && config.scenario.transmission.enabled()),
+      "message_level + transmission=queue is unsupported");
+  EvalEngine eval(config);
   const auto eval_both = [&](const net::CsrTopology& csr) {
     PERIGEE_TRACE_SPAN(final_eval_span, "final_eval");
-    result.lambda = metrics::eval_all_sources(
-        csr, scenario.network, config.coverage, &eval_scratch,
-        engine_pool.get());
-    result.lambda50 = metrics::eval_all_sources(
-        csr, scenario.network, 0.50, &eval_scratch, engine_pool.get());
+    result.lambda = eval.lambda(csr, scenario.network, config.coverage,
+                                engine_pool.get());
+    result.lambda50 =
+        eval.lambda(csr, scenario.network, 0.50, engine_pool.get());
   };
 
   // Static baselines normally skip the round loop (their selectors never
@@ -182,6 +228,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     runner.set_thread_pool(engine_pool.get());
     runner.set_csr_patching(config.incremental_csr);
     runner.set_relax_engine(config.relax_engine);
+    runner.set_transmission(eval.egress);
 
     std::unique_ptr<net::AddrMan> addrman;
     if (config.partial_view) {
@@ -219,7 +266,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     if (config.checkpoints > 0) {
       result.checkpoints.push_back(
           make_checkpoint(0, runner.current_csr(), scenario.network,
-                          config.coverage, eval_scratch, engine_pool.get()));
+                          config.coverage, eval, engine_pool.get()));
     }
     const int interval =
         config.checkpoints > 0
@@ -234,8 +281,8 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
         result.checkpoints.push_back(make_checkpoint(
             static_cast<std::size_t>(done) *
                 static_cast<std::size_t>(budget_per_round),
-            runner.current_csr(), scenario.network, config.coverage,
-            eval_scratch, engine_pool.get()));
+            runner.current_csr(), scenario.network, config.coverage, eval,
+            engine_pool.get()));
       }
     }
     // Both final coverage evaluations ride on the runner's cached compile.
@@ -370,6 +417,8 @@ IncrementalResult run_incremental(const ExperimentConfig& config,
   runner.set_thread_pool(engine_pool.get());
   runner.set_csr_patching(config.incremental_csr);
   runner.set_relax_engine(config.relax_engine);
+  EvalEngine eval(config);
+  runner.set_transmission(eval.egress);
   std::unique_ptr<scn::ChurnDriver> churn;
   if (config.scenario.churn.enabled()) {
     churn = std::make_unique<scn::ChurnDriver>(config.scenario.churn,
@@ -386,11 +435,8 @@ IncrementalResult run_incremental(const ExperimentConfig& config,
 
   // The final evaluation reuses the runner's cached compile of the final
   // topology instead of building a second snapshot.
-  sim::MultiSourceScratch eval_scratch;
-  const auto lambda =
-      metrics::eval_all_sources(runner.current_csr(), scenario.network,
-                                config.coverage, &eval_scratch,
-                                engine_pool.get());
+  const auto lambda = eval.lambda(runner.current_csr(), scenario.network,
+                                  config.coverage, engine_pool.get());
   IncrementalResult result;
   for (std::size_t v = 0; v < n; ++v) {
     (adopter[v] ? result.lambda_adopters : result.lambda_others)

@@ -45,8 +45,12 @@ struct ExperimentConfig {
   // Declarative scenario regimes (src/scenario): static regimes (hetero
   // tiers, geo clustering, withholding adversaries) mutate the built network
   // once; the churn regime runs a seeded join/leave schedule between rounds
-  // via scenario::ChurnDriver. Default-constructed == inert: results are
-  // bit-identical to configs that predate the scenario layer.
+  // via scenario::ChurnDriver; the transmission regime routes every round
+  // and λ evaluation through the queued egress engine (sim/egress.hpp,
+  // docs/TRANSMISSION_MODEL.md) instead of the delay-only relaxation.
+  // Default-constructed == inert: results are bit-identical to configs that
+  // predate the scenario layer. transmission=queue is incompatible with
+  // message_level (asserted).
   scenario::ScenarioSpec scenario;
 
   // Partial-view peer discovery (§2.1 addrMan / §6): when enabled, each node
@@ -132,7 +136,11 @@ void build_initial_topology(const ExperimentConfig& config, Scenario& scenario);
 
 ExperimentResult run_experiment(const ExperimentConfig& config);
 
-// λv on the fully-connected topology of the same scenario.
+// λv on the fully-connected topology of the same scenario. Always
+// delay-only, even under the queued transmission regime: the bound models
+// instantaneous fan-out to all n-1 peers, which no finite-rate sender can
+// realize, so it stays a true lower bound (congestion grids therefore
+// compare learned topologies against each other, not against the bound).
 std::vector<double> run_ideal(const ExperimentConfig& config);
 
 // run_ideal at config.coverage and 50% from one scenario + one Dijkstra

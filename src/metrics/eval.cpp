@@ -6,6 +6,7 @@
 
 #include "runner/thread_pool.hpp"
 #include "sim/batch.hpp"
+#include "sim/egress.hpp"
 #include "util/radix.hpp"
 
 #include "util/assert.hpp"
@@ -100,6 +101,48 @@ std::vector<double> eval_all_sources(const net::CsrTopology& csr,
         }
         // Radix replaces std::sort but yields the identical sequence, so λ
         // stays bit-equal to lambda_for_broadcast on the same arrival set.
+        util::radix_sort_arrival_pairs(by_arrival, buffers.sort_scratch);
+        lambda[s] = coverage_time_sorted(by_arrival, total, coverage);
+      },
+      pool, /*need_ready=*/false);
+  return lambda;
+}
+
+std::vector<double> eval_all_sources_egress(const net::CsrTopology& csr,
+                                            const net::Network& network,
+                                            const sim::EgressConfig& config,
+                                            const sim::EgressPlan& plan,
+                                            double coverage,
+                                            sim::EgressScratch* scratch,
+                                            runner::ThreadPool* pool) {
+  PERIGEE_ASSERT(csr.size() == network.size());
+  const std::size_t n = network.size();
+  std::vector<double> lambda(n);
+  std::vector<double> powers(n);
+  double total = 0;
+  for (net::NodeId v = 0; v < n; ++v) {
+    powers[v] = network.profile(v).hash_power;
+    total += powers[v];
+  }
+  std::vector<net::NodeId> sources(n);
+  std::iota(sources.begin(), sources.end(), net::NodeId{0});
+
+  sim::EgressScratch local_scratch;
+  sim::EgressScratch& arena = scratch != nullptr ? *scratch : local_scratch;
+  // Same accumulation as the delay-only overload, lane buffers and radix
+  // sort included — only the engine behind the arrival stripes differs.
+  sim::for_each_source_broadcast_egress(
+      csr, config, plan, sources, arena,
+      [&](std::size_t lane, std::size_t s, std::span<const double> arrival,
+          std::span<const double> /*ready*/) {
+        auto& buffers = arena.lane(lane);
+        auto& by_arrival = buffers.by_arrival;
+        by_arrival.resize(n);
+        const double* arr = arrival.data();
+        const double* pow = powers.data();
+        for (std::size_t v = 0; v < n; ++v) {
+          by_arrival[v] = {arr[v], pow[v]};
+        }
         util::radix_sort_arrival_pairs(by_arrival, buffers.sort_scratch);
         lambda[s] = coverage_time_sorted(by_arrival, total, coverage);
       },

@@ -16,7 +16,10 @@ class ThreadPool;
 }  // namespace perigee::runner
 
 namespace perigee::sim {
+class EgressPlan;
+class EgressScratch;
 class MultiSourceScratch;
+struct EgressConfig;
 }  // namespace perigee::sim
 
 namespace perigee::metrics {
@@ -46,6 +49,18 @@ std::vector<double> eval_all_sources(const net::Topology& topology,
 std::vector<double> eval_all_sources(
     const net::CsrTopology& csr, const net::Network& network,
     double coverage = 0.90, sim::MultiSourceScratch* scratch = nullptr,
+    runner::ThreadPool* pool = nullptr);
+
+/// Batched λ evaluation under the queued-transmission model: identical
+/// coverage accumulation, but every broadcast runs through the egress
+/// engine (sim/egress.hpp) so λ reflects serialization + queue wait. With
+/// `config.unlimited_rate` the result is byte-identical to the delay-only
+/// overload above — the equivalence the diff harness enforces. `plan` must
+/// be built from `network`'s current profiles (`sim::EgressPlanCache`).
+std::vector<double> eval_all_sources_egress(
+    const net::CsrTopology& csr, const net::Network& network,
+    const sim::EgressConfig& config, const sim::EgressPlan& plan,
+    double coverage = 0.90, sim::EgressScratch* scratch = nullptr,
     runner::ThreadPool* pool = nullptr);
 
 /// λv on the fully-connected topology ("ideal" in Figure 3), computed as a

@@ -111,6 +111,15 @@ std::vector<SweepCell> expand_grid(const SweepSpec& spec) {
             c.scenario.adversary.withhold_fraction = v;
           },
           [](double v) { return "withhold=" + format_double(v); }),
+      make_axis(
+          spec.transmission_models, spec.base.scenario.transmission.model,
+          [](core::ExperimentConfig& c, scenario::TransmissionModel v) {
+            c.scenario.transmission.model = v;
+          },
+          [](scenario::TransmissionModel v) {
+            return "transmission=" +
+                   std::string(scenario::transmission_model_name(v));
+          }),
   };
 
   std::size_t total = 1;
@@ -246,6 +255,9 @@ void write_json(std::ostream& os, const SweepSpec& spec,
     w.field("hetero",
             scenario::hetero_profile_name(config.scenario.hetero.profile));
     w.field("withhold", config.scenario.adversary.withhold_fraction);
+    w.field("transmission",
+            scenario::transmission_model_name(
+                config.scenario.transmission.model));
     w.key("curve");
     write_curve(w, cr.curve);
     w.key("curve50");

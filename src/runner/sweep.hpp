@@ -2,7 +2,8 @@
 //
 // A SweepSpec names the axes to sweep (algorithm, n, rounds, hash model,
 // validation scale, relay, and the scenario axes: churn rate, heterogeneity
-// profile, withholding fraction); expand_grid() turns it into the cartesian
+// profile, withholding fraction, transmission model); expand_grid() turns
+// it into the cartesian
 // list of cells in a fixed nesting order, and SweepRunner executes every
 // (cell, seed) pair as an independent job on a work-stealing ThreadPool.
 // Each job derives its seed as base seed + seed index and writes into a
@@ -50,6 +51,10 @@ struct SweepSpec {
   std::vector<double> churn_rates;
   std::vector<scenario::HeteroProfile> hetero_profiles;
   std::vector<double> withhold_fractions;
+  // Transmission models select the broadcast engine per cell: "delay" is
+  // the pure-propagation default, "queue" the egress queuing engine
+  // (docs/TRANSMISSION_MODEL.md). A result axis, echoed in cell JSON.
+  std::vector<scenario::TransmissionModel> transmission_models;
 
   // Independent repetitions per cell (aggregated into mean/stddev curves).
   int seeds = 1;

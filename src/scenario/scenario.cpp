@@ -110,8 +110,32 @@ std::optional<HeteroProfile> hetero_profile_from_name(std::string_view name) {
   return std::nullopt;
 }
 
+std::string_view transmission_model_name(TransmissionModel model) {
+  switch (model) {
+    case TransmissionModel::Delay:
+      return "delay";
+    case TransmissionModel::Queue:
+      return "queue";
+  }
+  return "unknown";
+}
+
+std::optional<TransmissionModel> transmission_model_from_name(
+    std::string_view name) {
+  for (const auto model :
+       {TransmissionModel::Delay, TransmissionModel::Queue}) {
+    if (transmission_model_name(model) == name) return model;
+  }
+  return std::nullopt;
+}
+
 void adjust_network_options(net::NetworkOptions& options,
                             const ScenarioSpec& spec) {
+  // The queuing engine charges serialization per message from the same
+  // bandwidth profiles; folding the analytic block term into δ as well
+  // would double-count transmission, so the bandwidth-tier patch only
+  // applies under the delay-only model.
+  if (spec.transmission.enabled()) return;
   if (spec.hetero.enabled() && spec.hetero.tiers_bandwidth() &&
       options.block_size_kb == 0.0) {
     options.block_size_kb = spec.hetero.block_size_kb;

@@ -1,7 +1,7 @@
 /// \file
 /// \brief Declarative scenario layer: composable regimes (churn,
-/// heterogeneity, geographic clustering, adversarial withholding) applied on
-/// top of any `core::ExperimentConfig`.
+/// heterogeneity, geographic clustering, adversarial withholding, queued
+/// transmission) applied on top of any `core::ExperimentConfig`.
 ///
 /// The paper evaluates Perigee on static, homogeneous, honest networks and
 /// leaves churn / limited views / incentives to §6. A `ScenarioSpec` makes
@@ -112,7 +112,44 @@ struct AdversaryRegime {
   bool enabled() const { return withhold_fraction > 0.0; }
 };
 
-/// A composable scenario: any subset of the four regimes may be active.
+/// Which transmission model broadcasts run under — a result axis, unlike
+/// the wall-clock-only `--engine` knob.
+enum class TransmissionModel {
+  /// Pure propagation: every edge costs its fixed δ, senders relay to all
+  /// neighbors simultaneously. The default and the parity oracle.
+  Delay,
+  /// Event-driven egress queuing (`sim/egress.{hpp,cpp}`): per-node
+  /// token-bucket rate limits derived from bandwidth profiles plus a
+  /// three-band priority FIFO per sender; serialization + queue wait stack
+  /// on top of δ. See docs/TRANSMISSION_MODEL.md.
+  Queue,
+};
+
+/// Queued-transmission regime: the user-facing (KB-denominated) mirror of
+/// `sim::EgressConfig`, carried on `ScenarioSpec` and swept through the
+/// `--transmission` axis. Inert by default (`model == Delay`); the
+/// experiment layer converts KB fields to bytes (×1000) when dispatching to
+/// the egress engine.
+struct TransmissionRegime {
+  TransmissionModel model = TransmissionModel::Delay;  ///< which engine
+  double block_kb = 200.0;   ///< block payload size, KB (Bitcoin-like)
+  double control_kb = 1.0;   ///< per-neighbor INV/header chatter, KB
+  /// Route the payload through the compact-block band (pair with a smaller
+  /// `block_kb` to model compact-block relay).
+  bool compact_blocks = false;
+  double rate_scale = 1.0;  ///< multiplier on profile-derived egress rates
+  double burst_kb = 0.0;    ///< token-bucket depth, KB (0 = pure serialize)
+  /// True when the queuing engine is active.
+  bool enabled() const { return model == TransmissionModel::Queue; }
+};
+
+/// "delay" / "queue" (sweep labels, CLI).
+std::string_view transmission_model_name(TransmissionModel model);
+/// Inverse of transmission_model_name; nullopt for unknown names.
+std::optional<TransmissionModel> transmission_model_from_name(
+    std::string_view name);
+
+/// A composable scenario: any subset of the five regimes may be active.
 /// Default-constructed specs are inert — experiments without scenarios are
 /// bit-identical to builds that predate this layer.
 struct ScenarioSpec {
@@ -120,11 +157,14 @@ struct ScenarioSpec {
   HeteroRegime hetero;        ///< static regime (applied at build)
   GeoClusterRegime geo;       ///< static regime (applied at build)
   AdversaryRegime adversary;  ///< static regime (applied at build)
+  /// Engine regime (selects the broadcast transmission model per round and
+  /// per λ evaluation); mutates neither topology nor profiles.
+  TransmissionRegime transmission;
 
   /// True when any regime is active.
   bool any() const {
     return churn.enabled() || hetero.enabled() || geo.enabled() ||
-           adversary.enabled();
+           adversary.enabled() || transmission.enabled();
   }
   /// True when a regime that mutates the built Network is active.
   bool has_static() const {
@@ -135,6 +175,10 @@ struct ScenarioSpec {
 /// Pre-build adjustment: regimes that need different `NetworkOptions` (the
 /// bandwidth tiers require a non-zero block size for the transmission term)
 /// patch the options before `net::Network::build`. No-op for inert specs.
+/// Under the queued transmission regime the bandwidth-tier block-size patch
+/// is skipped entirely: the egress engine charges serialization explicitly,
+/// and folding `block_size_kb` into the analytic per-edge δ as well would
+/// double-count the transmission term.
 void adjust_network_options(net::NetworkOptions& options,
                             const ScenarioSpec& spec);
 

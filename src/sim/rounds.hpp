@@ -22,11 +22,14 @@
 #include <memory>
 #include <vector>
 
+#include <optional>
+
 #include "mining/sampler.hpp"
 #include "net/csr.hpp"
 #include "net/network.hpp"
 #include "net/topology.hpp"
 #include "sim/batch.hpp"
+#include "sim/egress.hpp"
 #include "sim/observations.hpp"
 #include "sim/parallel.hpp"
 #include "sim/selector.hpp"
@@ -92,6 +95,20 @@ class RoundRunner {
   void set_relax_engine(RelaxEngine engine) { relax_engine_ = engine; }
   RelaxEngine relax_engine() const { return relax_engine_; }
 
+  /// Routes the Fast engine's block batches through the queued-transmission
+  /// egress engine (sim/egress.hpp) with this configuration. Unlike the
+  /// wall-clock-only engine knobs above, this is a *result* axis: arrival
+  /// times gain serialization + queue wait. Takes precedence over
+  /// `set_relax_engine` (the delta-stepping backend models propagation
+  /// only). Pass nullopt to restore delay-only broadcasts.
+  void set_transmission(std::optional<EgressConfig> config) {
+    egress_config_ = std::move(config);
+  }
+  /// Active queued-transmission configuration, if any.
+  const std::optional<EgressConfig>& transmission() const {
+    return egress_config_;
+  }
+
   /// Disables (or re-enables) the incremental journal-patch path of the
   /// runner's CSR cache: with `enabled` false every rewired round pays a
   /// full flat-graph recompile, the pre-journal behavior. Patched and
@@ -141,6 +158,9 @@ class RoundRunner {
   MultiSourceResult batch_result_;    // SoA stripes, reused across rounds
   RelaxEngine relax_engine_ = RelaxEngine::Batched;
   ParallelScratch parallel_scratch_;  // delta-stepping lanes, lazily grown
+  std::optional<EgressConfig> egress_config_;  // queued-transmission regime
+  EgressPlanCache egress_plans_;      // per-node rates, profile-versioned
+  EgressScratch egress_scratch_;      // event-heap lanes, reused across rounds
   BroadcastResult block_result_;    // reused per-block shim for hooks
   std::size_t rounds_run_ = 0;
   runner::ThreadPool* pool_ = nullptr;  // borrowed; null = inline blocks

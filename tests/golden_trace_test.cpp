@@ -144,6 +144,31 @@ TEST(GoldenTrace, GoldenSweepIsJobsInvariant) {
   EXPECT_EQ(sequential.str(), parallel.str());
 }
 
+// The congestion shape: transmission model as a real result axis (cells
+// differ between delay and queue) with bandwidth-tiered profiles driving
+// the queue engine's token buckets. The queuing DES is single-threaded per
+// source and sources land in pre-assigned stripes, so the full sweep JSON
+// must stay bit-identical at any worker count exactly like the delay-only
+// grids the determinism CI diffs.
+TEST(GoldenTrace, CongestionSweepIsJobsInvariant) {
+  runner::SweepSpec spec;
+  spec.name = "congestion-golden";
+  spec.base.net.n = 60;
+  spec.base.rounds = 4;
+  spec.base.blocks_per_round = 20;
+  spec.base.seed = 1;
+  spec.algorithms = {core::Algorithm::Random, core::Algorithm::PerigeeSubset};
+  spec.transmission_models = {scenario::TransmissionModel::Delay,
+                              scenario::TransmissionModel::Queue};
+  spec.hetero_profiles = {scenario::HeteroProfile::Off,
+                          scenario::HeteroProfile::Bandwidth};
+  spec.seeds = 2;
+  std::ostringstream sequential, parallel;
+  runner::write_json(sequential, spec, runner::SweepRunner(1).run(spec));
+  runner::write_json(parallel, spec, runner::SweepRunner(3).run(spec));
+  EXPECT_EQ(sequential.str(), parallel.str());
+}
+
 // Same contract with the parallel delta-stepping engine switched on
 // (`--engine parallel-delta`): the sweep JSON stays bit-identical both
 // across sweep worker counts and against the batched-engine run above —

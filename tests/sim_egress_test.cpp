@@ -1,0 +1,305 @@
+// Unit properties of the egress queuing engine (sim/egress.hpp): analytic
+// serialization times on a hand-built star, strict priority-band drain
+// order (controls before payloads, reversible via band_map), token-bucket
+// burst absorption, the ∞-rate ≡ delay-only parity corner, zero-rate
+// starvation safety, worker-count invariance under finite rates, and λ
+// consistency through metrics::eval_all_sources_egress. The cross-engine
+// byte-parity sweep over ~200 random topologies lives in
+// tests/sim_engine_diff_test.cpp; this file pins the arithmetic the model
+// documentation (docs/TRANSMISSION_MODEL.md) promises.
+#include "sim/egress.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "metrics/eval.hpp"
+#include "net/csr.hpp"
+#include "runner/thread_pool.hpp"
+#include "sim/broadcast.hpp"
+#include "topo/builders.hpp"
+#include "util/rng.hpp"
+
+namespace perigee::sim {
+namespace {
+
+::testing::AssertionResult bytes_equal(std::span<const double> a,
+                                       std::span<const double> b) {
+  if (a.size() != b.size()) {
+    return ::testing::AssertionFailure()
+           << "size " << a.size() << " vs " << b.size();
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::memcmp(&a[i], &b[i], sizeof(double)) != 0) {
+      return ::testing::AssertionFailure()
+             << "first mismatch at index " << i << ": " << a[i] << " vs "
+             << b[i];
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+// Hub-and-spokes star with every quantity pinned: infra edges carry an
+// exact 5 ms δ, validation is zero, and the hub's uplink is 8 Mbit/s
+// = 1000 bytes/ms, so a 10000-byte block serializes for exactly 10 ms.
+struct Star {
+  net::Network network;
+  net::Topology topology;
+  net::CsrTopology csr;
+
+  static Star build(std::size_t spokes, double hub_mbps) {
+    net::NetworkOptions options;
+    options.n = spokes + 1;
+    options.latency = net::NetworkOptions::LatencyKind::Euclidean;
+    options.embed_dim = 1;
+    options.handshake_factor = 1.0;
+    options.validation_spread = 0.0;
+    options.validation_mean_ms = 0.0;
+    net::Network network = net::Network::build(options);
+    auto& profiles = network.mutable_profiles();
+    for (auto& profile : profiles) profile.coords = {};
+    profiles[0].bandwidth_mbps = hub_mbps;
+    net::Topology topology(options.n);
+    for (net::NodeId v = 1; v < options.n; ++v) {
+      EXPECT_TRUE(topology.add_infra_edge(0, v, 5.0));
+    }
+    net::CsrTopology csr = net::CsrTopology::build(topology, network);
+    return {std::move(network), std::move(topology), std::move(csr)};
+  }
+};
+
+std::vector<double> sorted(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+TEST(Egress, SerializationQueuesSuccessivePayloads) {
+  const Star star = Star::build(3, 8.0);  // 1000 bytes/ms uplink
+  EgressConfig config;
+  config.block_bytes = 10000.0;  // 10 ms on the wire each
+  config.control_bytes = 0.0;
+  const EgressPlan plan = EgressPlan::build(star.network, config);
+  EXPECT_DOUBLE_EQ(plan.rate(0), 1000.0);
+
+  EgressScratch scratch;
+  BroadcastResult result;
+  simulate_broadcast_egress(star.csr, config, plan, 0, scratch, result);
+  // Payload k finishes serializing at (k+1)*10 ms and lands 5 ms later:
+  // the spokes arrive at 15, 25, 35 instead of the delay-only 5, 5, 5.
+  EXPECT_EQ(sorted(result.arrival),
+            (std::vector<double>{0.0, 15.0, 25.0, 35.0}));
+  // Zero validation: ready == arrival everywhere (miner included).
+  EXPECT_TRUE(bytes_equal(result.ready, result.arrival));
+}
+
+TEST(Egress, ControlBandDrainsBeforePayloadBand) {
+  const Star star = Star::build(3, 8.0);
+  EgressConfig config;
+  config.block_bytes = 10000.0;
+  config.control_bytes = 1000.0;  // 1 ms of INV chatter per neighbor
+  const EgressPlan plan = EgressPlan::build(star.network, config);
+
+  EgressScratch scratch;
+  BroadcastResult result;
+  simulate_broadcast_egress(star.csr, config, plan, 0, scratch, result);
+  // All three controls serialize first (3 ms, band 0 strictly before
+  // band 2), then the payloads: finishes at 13/23/33, arrivals +5.
+  EXPECT_EQ(sorted(result.arrival),
+            (std::vector<double>{0.0, 18.0, 28.0, 38.0}));
+}
+
+TEST(Egress, BandMapReversalPutsPayloadsFirst) {
+  const Star star = Star::build(3, 8.0);
+  EgressConfig config;
+  config.block_bytes = 10000.0;
+  config.control_bytes = 1000.0;
+  config.band_map = {2, 1, 0};  // full blocks on band 0, controls on band 2
+  const EgressPlan plan = EgressPlan::build(star.network, config);
+
+  EgressScratch scratch;
+  BroadcastResult result;
+  simulate_broadcast_egress(star.csr, config, plan, 0, scratch, result);
+  // Payloads now outrank controls: the INV chatter no longer delays any
+  // delivery, so arrivals match the control-free schedule exactly.
+  EXPECT_EQ(sorted(result.arrival),
+            (std::vector<double>{0.0, 15.0, 25.0, 35.0}));
+}
+
+TEST(Egress, BurstBucketCoveringBacklogMatchesDelayOnly) {
+  const Star star = Star::build(3, 8.0);
+  EgressConfig config;
+  config.block_bytes = 10000.0;
+  config.control_bytes = 1000.0;
+  config.burst_bytes = 50000.0;  // deeper than the hub's whole backlog
+  const EgressPlan plan = EgressPlan::build(star.network, config);
+
+  EgressScratch scratch;
+  BroadcastResult result;
+  simulate_broadcast_egress(star.csr, config, plan, 0, scratch, result);
+  // Every send is absorbed by the bucket and completes at its dequeue
+  // instant — byte-identical to the delay-only oracle.
+  const BroadcastResult oracle =
+      simulate_broadcast(star.topology, star.network, 0);
+  EXPECT_TRUE(bytes_equal(result.arrival, oracle.arrival));
+  EXPECT_TRUE(bytes_equal(result.ready, oracle.ready));
+}
+
+TEST(Egress, RateScaleStretchesSerialization) {
+  const Star star = Star::build(2, 8.0);
+  EgressConfig config;
+  config.block_bytes = 10000.0;
+  config.rate_scale = 0.5;  // 500 bytes/ms: 20 ms per payload
+  const EgressPlan plan = EgressPlan::build(star.network, config);
+  EXPECT_DOUBLE_EQ(plan.rate(0), 500.0);
+
+  EgressScratch scratch;
+  BroadcastResult result;
+  simulate_broadcast_egress(star.csr, config, plan, 0, scratch, result);
+  EXPECT_EQ(sorted(result.arrival), (std::vector<double>{0.0, 25.0, 45.0}));
+}
+
+TEST(Egress, ZeroRateSenderStarvesButTerminates) {
+  const Star star = Star::build(3, 0.0);
+  EgressConfig config;
+  config.block_bytes = 10000.0;
+  const EgressPlan plan = EgressPlan::build(star.network, config);
+  EXPECT_DOUBLE_EQ(plan.rate(0), 0.0);
+
+  EgressScratch scratch;
+  BroadcastResult result;
+  simulate_broadcast_egress(star.csr, config, plan, 0, scratch, result);
+  EXPECT_DOUBLE_EQ(result.arrival[0], 0.0);
+  for (net::NodeId v = 1; v < star.csr.size(); ++v) {
+    EXPECT_TRUE(std::isinf(result.arrival[v])) << "node " << v;
+  }
+}
+
+TEST(Egress, UnlimitedRateMatchesLegacyOracleByteForByte) {
+  net::NetworkOptions options;
+  options.n = 120;
+  options.seed = 9;
+  const auto network = net::Network::build(options);
+  net::Topology topology(options.n);
+  util::Rng rng(9);
+  topo::build_random(topology, rng);
+  const auto csr = net::CsrTopology::build(topology, network);
+
+  EgressConfig config;
+  config.unlimited_rate = true;
+  config.block_bytes = 0.0;
+  config.control_bytes = 0.0;
+  const EgressPlan plan = EgressPlan::build(network, config);
+  EgressScratch scratch;
+  BroadcastResult result;
+  for (const net::NodeId miner : {net::NodeId{0}, net::NodeId{37}}) {
+    const BroadcastResult oracle =
+        simulate_broadcast(topology, network, miner);
+    simulate_broadcast_egress(csr, config, plan, miner, scratch, result);
+    EXPECT_TRUE(bytes_equal(result.arrival, oracle.arrival));
+    EXPECT_TRUE(bytes_equal(result.ready, oracle.ready));
+  }
+}
+
+TEST(Egress, BatchIsWorkerCountInvariantUnderFiniteRates) {
+  net::NetworkOptions options;
+  options.n = 90;
+  options.seed = 11;
+  options.heterogeneous_bandwidth = true;  // per-node log-uniform rates
+  const auto network = net::Network::build(options);
+  net::Topology topology(options.n);
+  util::Rng rng(11);
+  topo::build_random(topology, rng);
+  const auto csr = net::CsrTopology::build(topology, network);
+
+  EgressConfig config;
+  config.block_bytes = 200'000.0;
+  config.control_bytes = 1000.0;
+  const EgressPlan plan = EgressPlan::build(network, config);
+
+  std::vector<net::NodeId> sources;
+  for (net::NodeId v = 0; v < options.n; v += 7) sources.push_back(v);
+
+  EgressScratch scratch;
+  MultiSourceResult inline_run, pooled_run, repeat_run;
+  simulate_broadcast_egress_batch(csr, config, plan, sources, scratch,
+                                  inline_run);
+  {
+    runner::ThreadPool pool(4);
+    simulate_broadcast_egress_batch(csr, config, plan, sources, scratch,
+                                    pooled_run, &pool);
+  }
+  simulate_broadcast_egress_batch(csr, config, plan, sources, scratch,
+                                  repeat_run);
+  EXPECT_TRUE(bytes_equal(pooled_run.arrival, inline_run.arrival));
+  EXPECT_TRUE(bytes_equal(pooled_run.ready, inline_run.ready));
+  EXPECT_TRUE(bytes_equal(repeat_run.arrival, inline_run.arrival));
+  EXPECT_TRUE(bytes_equal(repeat_run.ready, inline_run.ready));
+
+  // Queuing must never beat pure propagation: the delay-only result is a
+  // per-node lower bound on every finite-rate arrival.
+  MultiSourceScratch delay_scratch;
+  MultiSourceResult delay_run;
+  simulate_broadcast_batch(csr, sources, delay_scratch, delay_run);
+  for (std::size_t i = 0; i < inline_run.arrival.size(); ++i) {
+    EXPECT_GE(inline_run.arrival[i], delay_run.arrival[i]) << "slot " << i;
+  }
+}
+
+TEST(Egress, EvalAllSourcesEgressMatchesPerSourceLambda) {
+  net::NetworkOptions options;
+  options.n = 60;
+  options.seed = 13;
+  options.heterogeneous_bandwidth = true;
+  const auto network = net::Network::build(options);
+  net::Topology topology(options.n);
+  util::Rng rng(13);
+  topo::build_random(topology, rng);
+  const auto csr = net::CsrTopology::build(topology, network);
+
+  EgressConfig config;
+  config.block_bytes = 200'000.0;
+  const EgressPlan plan = EgressPlan::build(network, config);
+
+  std::vector<double> oracle(options.n);
+  EgressScratch scratch;
+  BroadcastResult result;
+  for (net::NodeId v = 0; v < options.n; ++v) {
+    simulate_broadcast_egress(csr, config, plan, v, scratch, result);
+    oracle[v] = metrics::lambda_for_broadcast(result, network, 0.90);
+  }
+
+  const auto inline_eval =
+      metrics::eval_all_sources_egress(csr, network, config, plan, 0.90);
+  EXPECT_TRUE(bytes_equal(inline_eval, oracle));
+
+  runner::ThreadPool pool(3);
+  const auto pooled_eval = metrics::eval_all_sources_egress(
+      csr, network, config, plan, 0.90, &scratch, &pool);
+  EXPECT_TRUE(bytes_equal(pooled_eval, oracle));
+}
+
+TEST(Egress, PlanCacheRebuildsOnlyWhenProfilesChange) {
+  net::NetworkOptions options;
+  options.n = 20;
+  options.seed = 17;
+  auto network = net::Network::build(options);
+  EgressConfig config;
+
+  EgressPlanCache cache;
+  const EgressPlan& first = cache.get(network, config);
+  EXPECT_EQ(first.profile_version(), network.profile_version());
+  const double before = first.rate(3);
+  // No profile movement: the cached plan is reused verbatim.
+  EXPECT_EQ(&cache.get(network, config), &first);
+
+  network.mutable_profiles()[3].bandwidth_mbps *= 2.0;
+  const EgressPlan& rebuilt = cache.get(network, config);
+  EXPECT_EQ(rebuilt.profile_version(), network.profile_version());
+  EXPECT_DOUBLE_EQ(rebuilt.rate(3), 2.0 * before);
+}
+
+}  // namespace
+}  // namespace perigee::sim

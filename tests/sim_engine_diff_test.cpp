@@ -18,6 +18,10 @@
 // every regime (including the zero-δ heap-fallback, disconnected, and
 // churn-patched shapes), and the compact fixed-point engine is held to its
 // own oracle: exact u64 arrival equality across the same worker counts.
+// The egress queuing engine (sim/egress.hpp) joins at infinite rate and
+// zero message size, where docs/TRANSMISSION_MODEL.md claims it IS the
+// delay-only model: single-source and batched (inline + pooled), both held
+// byte-equal to the legacy oracle across all regimes.
 //
 // Each regime additionally drives the incremental compile path: a CsrCache
 // snapshot is patched from the topology's mutation journal after a rewiring
@@ -39,6 +43,7 @@
 #include "scenario/scenario.hpp"
 #include "sim/batch.hpp"
 #include "sim/broadcast.hpp"
+#include "sim/egress.hpp"
 #include "sim/parallel.hpp"
 #include "topo/builders.hpp"
 #include "util/rng.hpp"
@@ -98,6 +103,28 @@ void expect_three_engine_parity(const net::Topology& topology,
   sim::BroadcastResult par1, par2, par4;
   std::vector<std::uint64_t> q1(n), q2(n), q4(n);
 
+  // Egress queuing engine in its delay-only corner: unlimited rate + zero
+  // message size. The documented contract (docs/TRANSMISSION_MODEL.md) is
+  // that this configuration takes the float-op-free inline path and
+  // reproduces the delay-only arrivals byte for byte.
+  sim::EgressConfig egress_config;
+  egress_config.unlimited_rate = true;
+  egress_config.block_bytes = 0.0;
+  egress_config.control_bytes = 0.0;
+  const sim::EgressPlan egress_plan =
+      sim::EgressPlan::build(network, egress_config);
+  sim::EgressScratch egress_scratch;
+  sim::BroadcastResult via_egress;
+  sim::MultiSourceResult egress_batched, egress_pooled;
+  sim::simulate_broadcast_egress_batch(csr, egress_config, egress_plan,
+                                       miners, egress_scratch, egress_batched);
+  {
+    runner::ThreadPool pool(3);
+    sim::simulate_broadcast_egress_batch(csr, egress_config, egress_plan,
+                                         miners, egress_scratch, egress_pooled,
+                                         &pool);
+  }
+
   sim::BroadcastScratch csr_scratch;
   sim::BroadcastResult via_csr;
   for (std::size_t s = 0; s < miners.size(); ++s) {
@@ -111,6 +138,17 @@ void expect_three_engine_parity(const net::Topology& topology,
     EXPECT_TRUE(bytes_equal(batched.ready_of(s), legacy.ready));
     EXPECT_TRUE(bytes_equal(pooled.arrival_of(s), batched.arrival_of(s)));
     EXPECT_TRUE(bytes_equal(pooled.ready_of(s), batched.ready_of(s)));
+
+    // Egress engine, ∞-rate corner ≡ delay-only oracle: single-source,
+    // batched, and pooled all byte-equal to the legacy walk.
+    sim::simulate_broadcast_egress(csr, egress_config, egress_plan, miners[s],
+                                   egress_scratch, via_egress);
+    EXPECT_TRUE(bytes_equal(via_egress.arrival, legacy.arrival));
+    EXPECT_TRUE(bytes_equal(via_egress.ready, legacy.ready));
+    EXPECT_TRUE(bytes_equal(egress_batched.arrival_of(s), legacy.arrival));
+    EXPECT_TRUE(bytes_equal(egress_batched.ready_of(s), legacy.ready));
+    EXPECT_TRUE(bytes_equal(egress_pooled.arrival_of(s), legacy.arrival));
+    EXPECT_TRUE(bytes_equal(egress_pooled.ready_of(s), legacy.ready));
 
     // Parallel delta-stepping: byte-identical to the legacy oracle at any
     // worker count (1 = inline, 2 and 4 = barrier teams).
