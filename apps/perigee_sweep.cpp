@@ -10,7 +10,19 @@
 //       --nodes 200,400 --churn 0,0.05 --seeds 3 --jobs 4 --json grid.json
 //   perigee_sweep --transmission delay,queue --hetero off,bandwidth
 //
-// Results are bit-identical at any --jobs value; see src/runner/sweep.hpp.
+// The sweep runs as a crash-safe service: every completed (cell, seed) job
+// is checkpointed (disable with --checkpoint-dir none), an interrupted run
+// restarts with --resume, and a grid can be split across k coordination-free
+// processes and folded back together:
+//
+//   perigee_sweep --figure fig4a --resume               # pick up where left
+//   perigee_sweep --figure fig4a --shard 0/2            # process A
+//   perigee_sweep --figure fig4a --shard 1/2            # process B
+//   perigee_sweep --figure fig4a \
+//       --merge BENCH_fig4a.shard0of2.json,BENCH_fig4a.shard1of2.json
+//
+// Results are bit-identical at any --jobs value, resumed or not, sharded or
+// not; see src/runner/sweep.hpp.
 #include <iostream>
 #include <optional>
 #include <sstream>
@@ -21,6 +33,7 @@
 #include "obs/meta.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "runner/checkpoint.hpp"
 #include "runner/json.hpp"
 #include "runner/sweep.hpp"
 #include "scenario/scenario.hpp"
@@ -235,6 +248,28 @@ int main(int argc, char** argv) {
   flags.add_double("coverage", 0.90, "hash-power coverage for lambda");
   flags.add_int("jobs", 0, "worker threads (0 = all hardware threads)");
   flags.add_string("json", "", "output path (default BENCH_<name>.json)");
+  flags.add_string("checkpoint-dir", "",
+                   "directory for per-job crash-safe checkpoints (default "
+                   "<output path>.ckpt; 'none' disables checkpointing)");
+  flags.add_bool("resume", false,
+                 "load completed (cell, seed) jobs from the checkpoint "
+                 "directory and run only the rest; the final JSON is "
+                 "byte-identical to an uninterrupted run");
+  flags.add_string("shard", "",
+                   "i/k: run only shard i of a k-way split of the grid "
+                   "(jobs round-robin by index; no coordination between "
+                   "shard processes) and write "
+                   "BENCH_<name>.shard<i>of<k>.json for --merge");
+  flags.add_string("merge", "",
+                   "CSV of k shard files to fold into the final "
+                   "BENCH_<name>.json (runs no jobs; pass the same grid "
+                   "flags as the shard runs — a fingerprint mismatch "
+                   "aborts). Byte-identical to a single-process run");
+  flags.add_bool("reuse-builds", true,
+                 "build each distinct (topology axes, seed) scenario once "
+                 "and clone it across cells that differ only in policy "
+                 "axes (byte-identical either way; =false rebuilds per "
+                 "cell)");
   flags.add_string("trace", "",
                    "write a Chrome trace_event JSON (chrome://tracing, "
                    "Perfetto, scripts/summarize_trace.py) of the sweep to "
@@ -440,18 +475,125 @@ int main(int argc, char** argv) {
     spec.name = name;
   }
 
+  // --merge: fold k shard outputs into the final file. No jobs run; the
+  // merged JSON is byte-identical to a single-process run of the same grid.
+  if (const auto& csv = flags.get_string("merge"); !csv.empty()) {
+    const std::vector<std::string> shard_paths = split_csv(csv);
+    runner::SweepResult merged;
+    try {
+      merged = runner::merge_shards(spec, shard_paths);
+    } catch (const std::exception& e) {
+      std::cerr << "merge failed: " << e.what() << "\n";
+      return 1;
+    }
+    const obs::RunMeta meta = obs::capture_run_meta();
+    std::string path = flags.get_string("json");
+    if (path.empty()) path = runner::default_json_path(spec);
+    if (!runner::write_json_file(path, spec, merged, &meta)) {
+      std::cerr << "cannot write " << path
+                << " (shard files are untouched; rerun --merge after fixing "
+                   "the destination)\n";
+      return 1;
+    }
+    std::cerr << "merged " << shard_paths.size() << " shards into " << path
+              << "\n";
+    return 0;
+  }
+
+  int shard_index = 0;
+  int shard_count = 1;
+  if (const auto& text = flags.get_string("shard"); !text.empty()) {
+    const std::size_t slash = text.find('/');
+    const auto i = slash == std::string::npos
+                       ? std::nullopt
+                       : parse_number(text.substr(0, slash));
+    const auto k = slash == std::string::npos
+                       ? std::nullopt
+                       : parse_number(text.substr(slash + 1));
+    if (!i || !k || *k < 1 || *i < 0 || *i >= *k ||
+        *i != static_cast<int>(*i) || *k != static_cast<int>(*k)) {
+      std::cerr << "bad --shard '" << text << "' (want i/k with 0 <= i < k)\n";
+      return 1;
+    }
+    shard_index = static_cast<int>(*i);
+    shard_count = static_cast<int>(*k);
+  }
+
+  // The output path anchors the default checkpoint directory, so shard
+  // processes sharing a working directory never collide.
+  std::string path = flags.get_string("json");
+  if (path.empty()) {
+    path = shard_count > 1
+               ? runner::default_shard_path(spec, shard_index, shard_count)
+               : runner::default_json_path(spec);
+  }
+
+  runner::SweepOptions options;
+  options.shard_index = shard_index;
+  options.shard_count = shard_count;
+  options.resume = flags.get_bool("resume");
+  options.reuse_builds = flags.get_bool("reuse-builds");
+  options.checkpoint_dir = flags.get_string("checkpoint-dir");
+  if (options.checkpoint_dir.empty()) options.checkpoint_dir = path + ".ckpt";
+  if (options.checkpoint_dir == "none") options.checkpoint_dir.clear();
+  if (options.resume && options.checkpoint_dir.empty()) {
+    std::cerr << "--resume needs a checkpoint directory\n";
+    return 1;
+  }
+
   const runner::SweepRunner sweep_runner(
       static_cast<int>(flags.get_int("jobs")));
   const std::size_t cell_count = runner::expand_grid(spec).size();
   std::cerr << "sweep '" << spec.name << "': " << cell_count << " cells x "
             << spec.seeds << " seeds on " << sweep_runner.workers()
-            << " workers\n";
-
-  const auto result = sweep_runner.run(
-      spec, [](std::size_t done, std::size_t total) {
-        std::cerr << "\r" << done << "/" << total << " jobs" << std::flush;
-      });
+            << " workers";
+  if (shard_count > 1) {
+    std::cerr << " (shard " << shard_index << "/" << shard_count << ")";
+  }
   std::cerr << "\n";
+
+  // The runner reports completions from worker threads concurrently;
+  // ProgressPrinter serializes the stream writes (a bare cerr << "\r..."
+  // here used to interleave partial lines under load).
+  runner::ProgressPrinter progress(std::cerr, "jobs ");
+  runner::SweepResult result;
+  runner::ShardFile shard;
+  try {
+    if (shard_count > 1) {
+      shard.shard_index = shard_index;
+      shard.shard_count = shard_count;
+      shard.slots = sweep_runner.run_slots(spec, options, std::ref(progress));
+    } else {
+      result = sweep_runner.run(spec, options, std::ref(progress));
+    }
+    progress.finish();
+  } catch (const std::exception& e) {
+    progress.finish();
+    std::cerr << "sweep failed: " << e.what() << "\n";
+    return 1;
+  }
+
+  if (shard_count > 1) {
+    if (!runner::write_shard_file(path, runner::grid_fingerprint(spec),
+                                  shard)) {
+      std::cerr << "cannot write " << path << "\n";
+      if (!options.checkpoint_dir.empty()) {
+        std::cerr << "completed jobs are checkpointed in "
+                  << options.checkpoint_dir
+                  << "; rerun with --resume to re-emit without recomputing\n";
+      }
+      return 1;
+    }
+    std::cerr << "wrote " << path << " (" << shard.slots.size()
+              << " of " << cell_count * static_cast<std::size_t>(spec.seeds)
+              << " jobs; merge all " << shard_count
+              << " shard files with --merge)\n";
+    // The shard file now holds everything the checkpoints held.
+    if (!options.checkpoint_dir.empty()) {
+      runner::CheckpointStore(options.checkpoint_dir, "").remove_all();
+    }
+    return 0;
+  }
 
   // Terminal summary: sorted-λ means at the paper's error-bar indices.
   if (!result.cells.empty()) {
@@ -484,13 +626,24 @@ int main(int argc, char** argv) {
   // above it stay byte-identical across telemetry settings and --jobs (CI
   // strips `meta` before diffing).
   const obs::RunMeta meta = obs::capture_run_meta();
-  std::string path = flags.get_string("json");
-  if (path.empty()) path = runner::default_json_path(spec);
   if (!runner::write_json_file(path, spec, result, &meta)) {
+    // An unwritable destination must not discard hours of computed cells:
+    // the per-job checkpoints survive, so a --resume rerun re-emits the
+    // identical file from disk without recomputing anything.
     std::cerr << "cannot write " << path << "\n";
+    if (!options.checkpoint_dir.empty()) {
+      std::cerr << "completed jobs are checkpointed in "
+                << options.checkpoint_dir
+                << "; fix the destination and rerun with --resume to re-emit "
+                   "without recomputing\n";
+    }
     return 1;
   }
   std::cerr << "wrote " << path << "\n";
+  // The result file now holds everything the checkpoints held.
+  if (!options.checkpoint_dir.empty()) {
+    runner::CheckpointStore(options.checkpoint_dir, "").remove_all();
+  }
 
   if (!trace_path.empty()) {
     if (!obs::Tracer::instance().finish()) {

@@ -127,6 +127,11 @@ Scenario build_scenario(const ExperimentConfig& config) {
                   std::move(pool_members), std::move(relay_members)};
 }
 
+Scenario clone_scenario(const Scenario& scenario) {
+  return Scenario{scenario.network.clone(), scenario.topology,
+                  scenario.pool_members, scenario.relay_members};
+}
+
 void build_initial_topology(const ExperimentConfig& config,
                             Scenario& scenario) {
   util::Rng topo_rng = util::Rng(config.seed).split(0x7090);
@@ -158,13 +163,17 @@ void build_initial_topology(const ExperimentConfig& config,
 }
 
 ExperimentResult run_experiment(const ExperimentConfig& config) {
+  return run_experiment(config, build_scenario(config));
+}
+
+ExperimentResult run_experiment(const ExperimentConfig& config,
+                                Scenario scenario) {
   PERIGEE_TRACE_SPAN_ARGS(experiment_span, "experiment",
                           obs::TraceArgs()
                               .arg("algorithm", algorithm_name(config.algorithm))
                               .arg("nodes", config.net.n)
                               .arg("seed", config.seed)
                               .json());
-  Scenario scenario = build_scenario(config);
   build_initial_topology(config, scenario);
 
   ExperimentResult result;
@@ -307,10 +316,27 @@ std::vector<double> run_ideal(const ExperimentConfig& config) {
 }
 
 IdealResult run_ideal_both(const ExperimentConfig& config) {
-  const Scenario scenario = build_scenario(config);
+  return run_ideal_both(config, build_scenario(config));
+}
+
+IdealResult run_ideal_both(const ExperimentConfig& config,
+                           const Scenario& scenario) {
   auto multi = metrics::eval_ideal_multi(
       scenario.network, {config.coverage, 0.50}, &scenario.topology);
   return IdealResult{std::move(multi[0]), std::move(multi[1])};
+}
+
+CellCurves run_cell_curves(const ExperimentConfig& config,
+                           const Scenario* prebuilt) {
+  if (config.algorithm == Algorithm::Ideal) {
+    IdealResult r = prebuilt != nullptr ? run_ideal_both(config, *prebuilt)
+                                        : run_ideal_both(config);
+    return CellCurves{std::move(r.lambda), std::move(r.lambda50)};
+  }
+  ExperimentResult r = prebuilt != nullptr
+                           ? run_experiment(config, clone_scenario(*prebuilt))
+                           : run_experiment(config);
+  return CellCurves{std::move(r.lambda), std::move(r.lambda50)};
 }
 
 namespace {

@@ -129,12 +129,28 @@ struct Scenario {
 // overlay. The topology contains only infra edges on return.
 Scenario build_scenario(const ExperimentConfig& config);
 
+// Deep copy of a built scenario: the network is cloned (fresh profile
+// storage, latency model re-pointed), topology and member lists copied.
+// Running on the clone is bit-identical to running on a fresh
+// build_scenario of the same config — the sweep runner builds each distinct
+// (topology axes, seed) scenario once and clones it across the cells that
+// share it instead of resampling from scratch per cell.
+Scenario clone_scenario(const Scenario& scenario);
+
 // Installs the initial p2p topology for `algorithm` into the scenario
 // (random start for adaptive variants; the baseline's own construction for
 // static ones).
 void build_initial_topology(const ExperimentConfig& config, Scenario& scenario);
 
 ExperimentResult run_experiment(const ExperimentConfig& config);
+
+// run_experiment over a prebuilt scenario (taken by value: the round loop
+// rewires the topology and churn mutates profiles). `scenario` must be the
+// result of build_scenario / clone_scenario for a config whose topology
+// axes and seed equal this config's — byte-identical to the one-argument
+// form, which is just run_experiment(config, build_scenario(config)).
+ExperimentResult run_experiment(const ExperimentConfig& config,
+                                Scenario scenario);
 
 // λv on the fully-connected topology of the same scenario. Always
 // delay-only, even under the queued transmission regime: the bound models
@@ -150,6 +166,25 @@ struct IdealResult {
   std::vector<double> lambda50;  // at 50% coverage
 };
 IdealResult run_ideal_both(const ExperimentConfig& config);
+
+// run_ideal_both over a prebuilt scenario. Read-only: the ideal bound never
+// mutates the scenario, so sweep cells evaluate it straight off the shared
+// build without cloning.
+IdealResult run_ideal_both(const ExperimentConfig& config,
+                           const Scenario& scenario);
+
+// The raw per-node λ vectors of one sweep cell run — the payload the sweep
+// runner checkpoints per (cell, seed) and aggregates into curves.
+// Dispatches Algorithm::Ideal to run_ideal_both and everything else to
+// run_experiment. A non-null `prebuilt` scenario is evaluated directly
+// (ideal) or cloned first (experiments); results are byte-identical with
+// and without it.
+struct CellCurves {
+  std::vector<double> lambda;    // at config.coverage (unsorted)
+  std::vector<double> lambda50;  // at 50% coverage
+};
+CellCurves run_cell_curves(const ExperimentConfig& config,
+                           const Scenario* prebuilt = nullptr);
 
 // Repeats `run_experiment` with seeds seed, seed+1, ... and aggregates the
 // sorted per-node curves (paper: 3 independently sampled link latencies).

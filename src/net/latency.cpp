@@ -31,6 +31,11 @@ double GeoLatencyModel::link_ms(NodeId u, NodeId v) const {
   return base * jitter + pu.access_ms + pv.access_ms;
 }
 
+std::unique_ptr<LatencyModel> GeoLatencyModel::clone(
+    const std::vector<NodeProfile>* profiles) const {
+  return std::make_unique<GeoLatencyModel>(profiles, seed_, jitter_frac_);
+}
+
 EuclideanLatencyModel::EuclideanLatencyModel(
     const std::vector<NodeProfile>* profiles, int dim, double scale_ms)
     : profiles_(profiles), dim_(dim), scale_ms_(scale_ms) {
@@ -52,6 +57,11 @@ double EuclideanLatencyModel::link_ms(NodeId u, NodeId v) const {
   return scale_ms_ * std::sqrt(s2);
 }
 
+std::unique_ptr<LatencyModel> EuclideanLatencyModel::clone(
+    const std::vector<NodeProfile>* profiles) const {
+  return std::make_unique<EuclideanLatencyModel>(profiles, dim_, scale_ms_);
+}
+
 PairClassScaledModel::PairClassScaledModel(std::unique_ptr<LatencyModel> base,
                                            std::function<bool(NodeId)> in_class,
                                            double scale)
@@ -63,6 +73,12 @@ PairClassScaledModel::PairClassScaledModel(std::unique_ptr<LatencyModel> base,
 double PairClassScaledModel::link_ms(NodeId u, NodeId v) const {
   const double d = base_->link_ms(u, v);
   return (in_class_(u) && in_class_(v)) ? d * scale_ : d;
+}
+
+std::unique_ptr<LatencyModel> PairClassScaledModel::clone(
+    const std::vector<NodeProfile>* profiles) const {
+  return std::make_unique<PairClassScaledModel>(base_->clone(profiles),
+                                                in_class_, scale_);
 }
 
 }  // namespace perigee::net

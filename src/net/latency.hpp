@@ -21,6 +21,13 @@ class LatencyModel {
   virtual ~LatencyModel() = default;
   /// One-way propagation latency between u and v in ms.
   virtual double link_ms(NodeId u, NodeId v) const = 0;
+  /// Deep copy re-pointed at `profiles` (the cloning Network's own profile
+  /// storage — models hold non-owning profile pointers, so a cloned network
+  /// must not read the original's mutable profiles). The clone returns
+  /// bit-identical link_ms values as long as the two profile vectors are
+  /// equal.
+  virtual std::unique_ptr<LatencyModel> clone(
+      const std::vector<NodeProfile>* profiles) const = 0;
 };
 
 /// Region-matrix latency with deterministic per-pair jitter and per-node
@@ -36,6 +43,8 @@ class GeoLatencyModel final : public LatencyModel {
                   double jitter_frac = 0.2);
 
   double link_ms(NodeId u, NodeId v) const override;
+  std::unique_ptr<LatencyModel> clone(
+      const std::vector<NodeProfile>* profiles) const override;
 
  private:
   const std::vector<NodeProfile>* profiles_;  // non-owning; outlives model
@@ -51,6 +60,8 @@ class EuclideanLatencyModel final : public LatencyModel {
                         double scale_ms = 1.0);
 
   double link_ms(NodeId u, NodeId v) const override;
+  std::unique_ptr<LatencyModel> clone(
+      const std::vector<NodeProfile>* profiles) const override;
   /// The embedding dimension distances are computed over.
   int dim() const { return dim_; }
 
@@ -69,6 +80,8 @@ class PairClassScaledModel final : public LatencyModel {
                        std::function<bool(NodeId)> in_class, double scale);
 
   double link_ms(NodeId u, NodeId v) const override;
+  std::unique_ptr<LatencyModel> clone(
+      const std::vector<NodeProfile>* profiles) const override;
 
  private:
   std::unique_ptr<LatencyModel> base_;

@@ -64,6 +64,19 @@ Network Network::build(const NetworkOptions& options) {
   return Network(std::move(profiles), std::move(model), options);
 }
 
+Network Network::clone() const {
+  // Fresh profile storage: the clone's mutable_profiles() must not alias the
+  // original's (a churn round in one experiment would corrupt a sibling's
+  // substrate). The latency model is re-pointed at the copy.
+  auto profiles = std::make_shared<std::vector<NodeProfile>>(*profiles_);
+  Network copy(profiles, latency_->clone(profiles.get()), options_);
+  // Version counters carry over so snapshot caches treat the clone exactly
+  // like the network it was copied from.
+  copy.profile_version_ = profile_version_;
+  copy.latency_version_ = latency_version_;
+  return copy;
+}
+
 double Network::edge_delay_ms(NodeId u, NodeId v) const {
   return edge_delay_from_link_ms(latency_->link_ms(u, v), u, v);
 }

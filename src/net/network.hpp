@@ -77,6 +77,13 @@ class Network {
   /// node, hash power initialized uniform. Deterministic in options.seed.
   static Network build(const NetworkOptions& options);
 
+  /// Deep copy: fresh profile storage plus the latency model cloned and
+  /// re-pointed at it. The clone returns bit-identical link/edge delays and
+  /// carries the version counters over, so it is indistinguishable from the
+  /// original to snapshot caches — the sweep runner clones one scenario
+  /// build across cells that share every topology axis (runner/sweep.hpp).
+  Network clone() const;
+
   /// Number of nodes.
   std::size_t size() const { return profiles_->size(); }
   /// Profile of node v.

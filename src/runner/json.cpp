@@ -343,20 +343,63 @@ class Parser {
         case 'b': out.push_back('\b'); break;
         case 'f': out.push_back('\f'); break;
         case 'u': {
-          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
-          unsigned code = 0;
-          const auto [ptr, ec] = std::from_chars(
-              text_.data() + pos_, text_.data() + pos_ + 4, code, 16);
-          if (ec != std::errc() || ptr != text_.data() + pos_ + 4) {
-            fail("bad \\u escape");
+          // Full \uXXXX support, surrogate pairs included: resume and merge
+          // re-read the runner's own output, so any label a writer can emit
+          // must parse back — including ones escaped by stricter writers.
+          unsigned code = parse_hex4();
+          if (code >= 0xDC00 && code <= 0xDFFF) {
+            fail("unpaired low surrogate");
           }
-          if (code > 0x7F) fail("non-ASCII \\u escape unsupported");
-          out.push_back(static_cast<char>(code));
-          pos_ += 4;
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              fail("high surrogate not followed by \\u escape");
+            }
+            pos_ += 2;
+            const unsigned low = parse_hex4();
+            if (low < 0xDC00 || low > 0xDFFF) fail("bad low surrogate");
+            code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+          }
+          append_utf8(out, code);
           break;
         }
         default: fail("bad escape");
       }
+    }
+  }
+
+  // Four hex digits at pos_ (the body of a \uXXXX escape), advancing past
+  // them.
+  unsigned parse_hex4() {
+    if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+    unsigned code = 0;
+    const auto [ptr, ec] = std::from_chars(
+        text_.data() + pos_, text_.data() + pos_ + 4, code, 16);
+    if (ec != std::errc() || ptr != text_.data() + pos_ + 4) {
+      fail("bad \\u escape");
+    }
+    pos_ += 4;
+    return code;
+  }
+
+  // Appends the code point as UTF-8 (1-4 bytes). The writer emits strings
+  // as raw UTF-8, so escaped and unescaped spellings of the same text parse
+  // to identical bytes.
+  static void append_utf8(std::string& out, unsigned cp) {
+    if (cp <= 0x7F) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp <= 0x7FF) {
+      out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp <= 0xFFFF) {
+      out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
     }
   }
 

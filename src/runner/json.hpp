@@ -3,9 +3,11 @@
 // The writer is a streaming state machine (objects/arrays/fields) whose
 // number formatting goes through std::to_chars, so output is byte-identical
 // across runs and thread counts — the property the determinism acceptance
-// check diffs on. The parser is the minimal recursive-descent inverse used
-// by tests and by tools that read checked-in BENCH files; it is not a
-// general-purpose validator (no \uXXXX escapes beyond ASCII, no duplicate-
+// check diffs on. The parser is the recursive-descent inverse used by tests,
+// by tools that read checked-in BENCH files, and by the sweep service's
+// resume/merge paths (which must round-trip the runner's own output —
+// \uXXXX escapes decode fully, surrogate pairs included, to the raw UTF-8
+// the writer emits). It is not a general-purpose validator (no duplicate-
 // key detection).
 #pragma once
 

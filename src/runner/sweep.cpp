@@ -2,11 +2,18 @@
 
 #include <atomic>
 #include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <ostream>
+#include <stdexcept>
 #include <string>
 #include <utility>
 
 #include "obs/meta.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "runner/checkpoint.hpp"
 #include "runner/json.hpp"
 #include "runner/thread_pool.hpp"
 #include "util/assert.hpp"
@@ -152,49 +159,197 @@ SweepRunner::SweepRunner(int jobs) : workers_(resolve_jobs(jobs)) {}
 
 SweepResult SweepRunner::run(const SweepSpec& spec,
                              const Progress& progress) const {
+  return run(spec, SweepOptions{}, progress);
+}
+
+SweepResult SweepRunner::run(const SweepSpec& spec, const SweepOptions& options,
+                             const Progress& progress) const {
+  // A single shard only covers its 1/k of the grid; aggregate_slots would
+  // (rightly) refuse the gap. Shard callers go run_slots -> write_shard_file.
+  PERIGEE_ASSERT(options.shard_count == 1);
+  return aggregate_slots(spec, run_slots(spec, options, progress));
+}
+
+std::vector<SlotCurves> SweepRunner::run_slots(const SweepSpec& spec,
+                                               const SweepOptions& options,
+                                               const Progress& progress) const {
   PERIGEE_ASSERT(spec.seeds >= 1);
+  PERIGEE_ASSERT(options.shard_count >= 1);
+  PERIGEE_ASSERT(options.shard_index >= 0 &&
+                 options.shard_index < options.shard_count);
+  PERIGEE_ASSERT(!options.resume || !options.checkpoint_dir.empty());
+
+  const std::vector<SweepCell> cells = expand_grid(spec);
+  const auto seeds = static_cast<std::size_t>(spec.seeds);
+  const std::size_t jobs_total = cells.size() * seeds;
+  const auto shard_count = static_cast<std::size_t>(options.shard_count);
+  const auto shard_index = static_cast<std::size_t>(options.shard_index);
+  const auto mine = [&](std::size_t j) { return j % shard_count == shard_index; };
+
+  std::optional<CheckpointStore> store;
+  if (!options.checkpoint_dir.empty()) {
+    store.emplace(options.checkpoint_dir, grid_fingerprint(spec));
+    store->prepare();
+  }
+
+  // One pre-assigned slot per job j = cell * seeds + seed: jobs never
+  // contend on shared state, and downstream aggregation order is fixed —
+  // this is what makes the result independent of worker count, scheduling,
+  // shard splits, and crash/resume boundaries.
+  std::vector<SlotCurves> slots(jobs_total);
+  std::vector<char> have(jobs_total, 0);
+
+  if (options.resume && store) {
+    for (SlotCurves& slot : store->load_all()) {
+      // The fingerprint matched, so the checkpoint addresses this exact
+      // grid; out-of-range indices mean a corrupted file, not a stale grid.
+      if (slot.cell >= cells.size() || slot.seed >= seeds) {
+        throw std::runtime_error("checkpoint slot (cell " +
+                                 std::to_string(slot.cell) + ", seed " +
+                                 std::to_string(slot.seed) +
+                                 ") is outside the grid");
+      }
+      const std::size_t j = slot.cell * seeds + slot.seed;
+      have[j] = 1;
+      slots[j] = std::move(slot);
+    }
+  }
+
+  std::size_t total = 0;    // this shard's share of the grid
+  std::size_t resumed = 0;  // ... of which already checkpointed
+  for (std::size_t j = 0; j < jobs_total; ++j) {
+    if (!mine(j)) continue;
+    ++total;
+    if (have[j]) ++resumed;
+  }
+  PERIGEE_COUNTER_ADD("sweep.resume_skips",
+                      static_cast<std::int64_t>(resumed));
+
+  // Cross-cell build reuse: jobs that agree on every scenario-determining
+  // axis (same scenario_signature — policy axes like algorithm, rounds and
+  // churn excluded) share one lazily built master scenario. The first job
+  // of a group builds it, the rest clone; the last one through frees it.
+  struct BuildGroup {
+    std::once_flag once;
+    std::shared_ptr<const core::Scenario> scenario;
+    std::atomic<std::size_t> remaining{0};
+  };
+  std::vector<std::unique_ptr<BuildGroup>> groups;
+  std::vector<BuildGroup*> group_of(jobs_total, nullptr);
+  if (options.reuse_builds) {
+    std::map<std::string, std::vector<std::size_t>> by_signature;
+    for (std::size_t j = 0; j < jobs_total; ++j) {
+      if (!mine(j) || have[j]) continue;
+      core::ExperimentConfig config = cells[j / seeds].config;
+      config.seed += static_cast<std::uint64_t>(j % seeds);
+      by_signature[scenario_signature(config)].push_back(j);
+    }
+    for (auto& [signature, members] : by_signature) {
+      if (members.size() < 2) continue;  // nothing to share
+      auto group = std::make_unique<BuildGroup>();
+      group->remaining.store(members.size(), std::memory_order_relaxed);
+      for (const std::size_t j : members) group_of[j] = group.get();
+      groups.push_back(std::move(group));
+    }
+  }
+
+  std::atomic<std::size_t> done{resumed};
+  // Resumed slots count as instantly done; plain runs keep the historical
+  // contract of exactly one progress call per completed job.
+  if (progress && resumed > 0) progress(resumed, total);
+  ThreadPool pool(workers_);
+  for (std::size_t j = 0; j < jobs_total; ++j) {
+    if (!mine(j) || have[j]) continue;
+    pool.submit([&, j] {
+      const std::size_t c = j / seeds;
+      const std::size_t s = j % seeds;
+      core::ExperimentConfig config = cells[c].config;
+      config.seed += static_cast<std::uint64_t>(s);
+      PERIGEE_TRACE_SPAN_ARGS(cell_span, "sweep_cell",
+                              obs::TraceArgs()
+                                  .arg("cell", cells[c].label)
+                                  .arg("seed", config.seed)
+                                  .json());
+      BuildGroup* group = group_of[j];
+      std::shared_ptr<const core::Scenario> prebuilt;
+      if (group != nullptr) {
+        bool built = false;
+        std::call_once(group->once, [&] {
+          group->scenario = std::make_shared<const core::Scenario>(
+              core::build_scenario(config));
+          built = true;
+          PERIGEE_COUNTER_ADD("sweep.scenario_builds", 1);
+        });
+        if (!built) PERIGEE_COUNTER_ADD("sweep.scenario_reuses", 1);
+        prebuilt = group->scenario;
+      }
+      core::CellCurves curves = core::run_cell_curves(config, prebuilt.get());
+      if (group != nullptr &&
+          group->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        group->scenario.reset();  // last user; `prebuilt` copies keep theirs
+      }
+      slots[j] = SlotCurves{c, s, std::move(curves.lambda),
+                            std::move(curves.lambda50)};
+      have[j] = 1;
+      if (store && store->save(slots[j])) {
+        PERIGEE_COUNTER_ADD("sweep.checkpoint_writes", 1);
+      }
+      if (progress) {
+        progress(done.fetch_add(1, std::memory_order_relaxed) + 1, total);
+      }
+    });
+  }
+  pool.wait();
+
+  std::vector<SlotCurves> out;
+  out.reserve(total);
+  for (std::size_t j = 0; j < jobs_total; ++j) {
+    if (!mine(j)) continue;
+    PERIGEE_ASSERT(have[j]);
+    out.push_back(std::move(slots[j]));
+  }
+  return out;
+}
+
+SweepResult aggregate_slots(const SweepSpec& spec,
+                            std::vector<SlotCurves> slots) {
   std::vector<SweepCell> cells = expand_grid(spec);
   const auto seeds = static_cast<std::size_t>(spec.seeds);
-  const std::size_t total = cells.size() * seeds;
 
-  // One pre-assigned slot per (cell, seed): jobs never contend on shared
-  // state, and aggregation order below is fixed — this is what makes the
-  // result independent of worker count and scheduling.
   std::vector<std::vector<std::vector<double>>> lambda(cells.size());
   std::vector<std::vector<std::vector<double>>> lambda50(cells.size());
+  std::vector<std::vector<char>> have(cells.size());
   for (std::size_t c = 0; c < cells.size(); ++c) {
     lambda[c].resize(seeds);
     lambda50[c].resize(seeds);
+    have[c].assign(seeds, 0);
   }
 
-  std::atomic<std::size_t> done{0};
-  ThreadPool pool(workers_);
-  for (std::size_t c = 0; c < cells.size(); ++c) {
-    for (std::size_t s = 0; s < seeds; ++s) {
-      pool.submit([&, c, s] {
-        core::ExperimentConfig config = cells[c].config;
-        config.seed += static_cast<std::uint64_t>(s);
-        PERIGEE_TRACE_SPAN_ARGS(cell_span, "sweep_cell",
-                                obs::TraceArgs()
-                                    .arg("cell", cells[c].label)
-                                    .arg("seed", config.seed)
-                                    .json());
-        if (config.algorithm == core::Algorithm::Ideal) {
-          core::IdealResult r = core::run_ideal_both(config);
-          lambda[c][s] = std::move(r.lambda);
-          lambda50[c][s] = std::move(r.lambda50);
-        } else {
-          core::ExperimentResult r = core::run_experiment(config);
-          lambda[c][s] = std::move(r.lambda);
-          lambda50[c][s] = std::move(r.lambda50);
-        }
-        if (progress) {
-          progress(done.fetch_add(1, std::memory_order_relaxed) + 1, total);
-        }
-      });
+  for (SlotCurves& slot : slots) {
+    if (slot.cell >= cells.size() || slot.seed >= seeds) {
+      throw std::runtime_error("slot (cell " + std::to_string(slot.cell) +
+                               ", seed " + std::to_string(slot.seed) +
+                               ") is outside the grid");
     }
+    if (have[slot.cell][slot.seed]) {
+      throw std::runtime_error("duplicate slot (cell " +
+                               std::to_string(slot.cell) + ", seed " +
+                               std::to_string(slot.seed) + ")");
+    }
+    have[slot.cell][slot.seed] = 1;
+    lambda[slot.cell][slot.seed] = std::move(slot.lambda);
+    lambda50[slot.cell][slot.seed] = std::move(slot.lambda50);
   }
-  pool.wait();
+
+  std::size_t missing = 0;
+  for (const auto& cell_have : have) {
+    for (const char h : cell_have) missing += h == 0;
+  }
+  if (missing > 0) {
+    throw std::runtime_error(
+        "incomplete sweep coverage: " + std::to_string(missing) + " of " +
+        std::to_string(cells.size() * seeds) + " (cell, seed) slots missing");
+  }
 
   SweepResult result;
   result.cells.reserve(cells.size());
@@ -206,6 +361,61 @@ SweepResult SweepRunner::run(const SweepSpec& spec,
     result.cells.push_back(std::move(cr));
   }
   return result;
+}
+
+SweepResult merge_shards(const SweepSpec& spec,
+                         const std::vector<std::string>& paths) {
+  if (paths.empty()) throw std::runtime_error("merge: no shard files given");
+  const std::string fingerprint = grid_fingerprint(spec);
+  const int shard_count = static_cast<int>(paths.size());
+  std::vector<char> seen(paths.size(), 0);
+  std::vector<SlotCurves> slots;
+  for (const std::string& path : paths) {
+    ShardFile shard = read_shard_file(path, fingerprint);
+    if (shard.shard_count != shard_count) {
+      throw std::runtime_error(path + ": written as shard of " +
+                               std::to_string(shard.shard_count) + " but " +
+                               std::to_string(shard_count) + " files given");
+    }
+    if (shard.shard_index < 0 || shard.shard_index >= shard_count) {
+      throw std::runtime_error(path + ": shard index out of range");
+    }
+    if (seen[static_cast<std::size_t>(shard.shard_index)]) {
+      throw std::runtime_error(path + ": duplicate shard " +
+                               std::to_string(shard.shard_index));
+    }
+    seen[static_cast<std::size_t>(shard.shard_index)] = 1;
+    for (SlotCurves& slot : shard.slots) slots.push_back(std::move(slot));
+  }
+  // aggregate_slots rejects any remaining gap or overlap between shards.
+  return aggregate_slots(spec, std::move(slots));
+}
+
+std::string default_shard_path(const SweepSpec& spec, int shard_index,
+                               int shard_count) {
+  return "BENCH_" + spec.name + ".shard" + std::to_string(shard_index) +
+         "of" + std::to_string(shard_count) + ".json";
+}
+
+ProgressPrinter::ProgressPrinter(std::ostream& os, std::string label)
+    : os_(os), label_(std::move(label)) {}
+
+void ProgressPrinter::operator()(std::size_t done, std::size_t total) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  // fetch_add in the runner and this lock are not one atomic step, so a
+  // larger count can arrive first; printing the straggler would make the
+  // meter jump backwards.
+  if (dirty_ && done < last_done_) return;
+  last_done_ = done;
+  dirty_ = true;
+  os_ << '\r' << label_ << done << '/' << total << std::flush;
+}
+
+void ProgressPrinter::finish() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (!dirty_) return;
+  os_ << '\n' << std::flush;
+  dirty_ = false;
 }
 
 namespace {

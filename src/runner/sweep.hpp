@@ -9,10 +9,19 @@
 // Each job derives its seed as base seed + seed index and writes into a
 // pre-assigned slot, so the aggregated per-cell Curves are bit-identical at
 // any --jobs value — including --jobs 1, which is the sequential reference.
+//
+// The same slot discipline is what makes the sweep a restartable service
+// rather than an all-or-nothing batch: a job's output is a pure function of
+// (spec, cell, seed), so completed slots can be persisted as they finish
+// (SweepOptions::checkpoint_dir, runner/checkpoint.hpp), reloaded on resume,
+// computed by k coordination-free shard processes (jobs split round-robin by
+// job index), and folded back together (merge_shards) — all byte-identical
+// to one uninterrupted single-process run.
 #pragma once
 
 #include <cstddef>
 #include <functional>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -80,6 +89,43 @@ struct SweepResult {
   std::vector<CellResult> cells;  // expansion order, independent of --jobs
 };
 
+// One completed (cell, seed) job's raw λ vectors — the unit of
+// checkpointing, shard exchange, and merging (runner/checkpoint.hpp
+// persists exactly this).
+struct SlotCurves {
+  std::size_t cell = 0;  // cell index in expansion order
+  std::size_t seed = 0;  // seed index (job ran with base.seed + seed)
+  std::vector<double> lambda;    // per-node λ at spec.base.coverage
+  std::vector<double> lambda50;  // per-node λ at 50% coverage
+};
+
+// Service options for SweepRunner. Defaults reproduce the plain batch run.
+struct SweepOptions {
+  // When non-empty, every completed job is persisted there as
+  // cell<c>_seed<s>.json through write_file_atomic, tagged with the grid
+  // fingerprint. A crash loses at most the jobs in flight.
+  std::string checkpoint_dir;
+
+  // Load completed slots from checkpoint_dir before running and skip them.
+  // Requires checkpoint_dir. Files fingerprinted for a different grid make
+  // the run throw rather than fold in foreign data.
+  bool resume = false;
+
+  // Deterministic shard split: this process runs only the jobs j
+  // (= cell_index * seeds + seed_index, expansion order) with
+  // j % shard_count == shard_index. Round-robin by job index balances load
+  // across shards without any cross-process coordination.
+  int shard_index = 0;
+  int shard_count = 1;
+
+  // Build each distinct scenario (same topology axes + seed) once per run
+  // and clone it across the cells that share it, instead of resampling the
+  // identical network per cell. Byte-identical either way (the clone
+  // contract, pinned by tests); purely a wall-clock saver for policy-axis
+  // grids (algorithm, rounds, churn).
+  bool reuse_builds = true;
+};
+
 class SweepRunner {
  public:
   // jobs semantics match resolve_jobs: > 0 exact, <= 0 all hardware threads.
@@ -89,12 +135,69 @@ class SweepRunner {
 
   // Runs the full grid. `progress` (optional) is invoked after every
   // completed job as progress(done, total); it may be called concurrently
-  // from worker threads.
+  // from worker threads (ProgressPrinter below serializes terminal output).
   using Progress = std::function<void(std::size_t done, std::size_t total)>;
   SweepResult run(const SweepSpec& spec, const Progress& progress = {}) const;
 
+  // run with service options. shard_count must be 1 here — a single shard
+  // cannot aggregate the full grid; run run_slots + write_shard_file per
+  // shard, then merge_shards.
+  SweepResult run(const SweepSpec& spec, const SweepOptions& options,
+                  const Progress& progress = {}) const;
+
+  // The service core: executes this shard's share of the grid (all of it at
+  // shard_count == 1), honoring resume (checkpointed slots are loaded, not
+  // recomputed) and per-job checkpointing, and returns the shard's slots
+  // sorted by (cell, seed). progress counts resumed slots as instantly done.
+  std::vector<SlotCurves> run_slots(const SweepSpec& spec,
+                                    const SweepOptions& options,
+                                    const Progress& progress = {}) const;
+
  private:
   unsigned workers_;
+};
+
+// Folds raw slots into the final per-cell curves, aggregating in expansion
+// order — the exact code path of an uninterrupted run, so resumed and merged
+// results are byte-identical to it. Throws std::runtime_error unless the
+// slots cover every (cell, seed) of the grid exactly once.
+SweepResult aggregate_slots(const SweepSpec& spec,
+                            std::vector<SlotCurves> slots);
+
+// Reads k shard files (write_shard_file in runner/checkpoint.hpp) and folds
+// them into the single-process result. Throws std::runtime_error when a file
+// is malformed, fingerprinted for a different grid, shard metadata is
+// inconsistent (mixed k, duplicate or missing shard indices), or coverage is
+// incomplete.
+SweepResult merge_shards(const SweepSpec& spec,
+                         const std::vector<std::string>& paths);
+
+// "BENCH_<name>.shard<i>of<k>.json" next to default_json_path.
+std::string default_shard_path(const SweepSpec& spec, int shard_index,
+                               int shard_count);
+
+// Thread-safe "\r done/total" progress meter for SweepRunner::Progress.
+// Workers report completions concurrently; a mutex serializes the stream
+// writes and stale updates (a lower count arriving after a higher one) are
+// dropped, so the displayed counter is monotone and lines never interleave.
+class ProgressPrinter {
+ public:
+  // `label` prefixes the counter, e.g. "sweep 12/40".
+  explicit ProgressPrinter(std::ostream& os, std::string label = {});
+
+  // SweepRunner::Progress-compatible; safe from any thread. Bind with
+  // std::ref — the printer owns a mutex and must not be copied.
+  void operator()(std::size_t done, std::size_t total);
+
+  // Terminates the \r line with a newline (once) if anything was printed.
+  void finish();
+
+ private:
+  std::mutex mutex_;
+  std::ostream& os_;
+  std::string label_;
+  std::size_t last_done_ = 0;
+  bool dirty_ = false;
 };
 
 // Serializes a sweep result (spec echo + per-cell curves) as deterministic

@@ -179,6 +179,40 @@ TEST(JsonParser, RejectsMalformedInput) {
   EXPECT_THROW(JsonValue::parse("1 2"), std::runtime_error);
 }
 
+TEST(JsonParser, DecodesUnicodeEscapesToUtf8) {
+  // ASCII range.
+  EXPECT_EQ(JsonValue::parse("\"\\u0041\\u007a\"").string, "Az");
+  // Two-byte sequence (é, U+00E9) — the bytes JsonWriter would emit raw, so
+  // an escaped spelling parses to the same std::string as the raw one.
+  EXPECT_EQ(JsonValue::parse("\"caf\\u00e9\"").string, "caf\xc3\xa9");
+  EXPECT_EQ(JsonValue::parse("\"caf\\u00e9\"").string,
+            JsonValue::parse("\"caf\xc3\xa9\"").string);
+  // Three-byte sequence (€, U+20AC).
+  EXPECT_EQ(JsonValue::parse("\"\\u20AC\"").string, "\xe2\x82\xac");
+  // Surrogate pair (😀, U+1F600) -> four-byte UTF-8.
+  EXPECT_EQ(JsonValue::parse("\"\\ud83d\\ude00\"").string,
+            "\xf0\x9f\x98\x80");
+  // \u0000 is representable (NUL inside the string, not a terminator).
+  const std::string nul = JsonValue::parse("\"a\\u0000b\"").string;
+  ASSERT_EQ(nul.size(), 3u);
+  EXPECT_EQ(nul[1], '\0');
+}
+
+TEST(JsonParser, RejectsMalformedUnicodeEscapes) {
+  // Bad hex digit.
+  EXPECT_THROW(JsonValue::parse("\"\\u12g4\""), std::runtime_error);
+  // Truncated escape.
+  EXPECT_THROW(JsonValue::parse("\"\\u12\""), std::runtime_error);
+  // Lone low surrogate.
+  EXPECT_THROW(JsonValue::parse("\"\\ude00\""), std::runtime_error);
+  // High surrogate not followed by an escape at all.
+  EXPECT_THROW(JsonValue::parse("\"\\ud83dx\""), std::runtime_error);
+  // High surrogate followed by a non-surrogate escape.
+  EXPECT_THROW(JsonValue::parse("\"\\ud83d\\u0041\""), std::runtime_error);
+  // High surrogate at end of input.
+  EXPECT_THROW(JsonValue::parse("\"\\ud83d\""), std::runtime_error);
+}
+
 TEST(JsonParser, ParsesNumbers) {
   const JsonValue doc = JsonValue::parse("[-1.5e3, 0, 42, 0.125]");
   ASSERT_EQ(doc.items.size(), 4u);
