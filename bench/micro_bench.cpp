@@ -9,7 +9,10 @@
 // acceptance bar is >= 1.5x items_per_second.
 #include <benchmark/benchmark.h>
 
+#include <array>
+
 #include "core/perigee.hpp"
+#include "obs/meta.hpp"
 #include "metrics/eval.hpp"
 #include "mining/sampler.hpp"
 #include "net/csr.hpp"
@@ -66,6 +69,30 @@ void BM_BroadcastCsr(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_BroadcastCsr)->Arg(200)->Arg(1000)->Arg(4000);
+
+// The relaxation inner loop in isolation: one source through the batched
+// engine's solve_one kernel (u32 fixed-point bucket keys, next-row
+// prefetch, branchless settle) over a prebuilt CSR — no λ accumulation, no
+// compile, no pool, so iterations price the hot loop and nothing else.
+// Recorded in BENCH_broadcast.json as relax_inner_speedup against the
+// legacy Topology walker (BM_Broadcast) at the same Arg; the before/after
+// Release-mode delta of the micro-pass itself is reported in
+// ARCHITECTURE.md ("Release perf truth").
+void BM_RelaxInnerLoop(benchmark::State& state) {
+  Fixture f(static_cast<std::size_t>(state.range(0)));
+  const net::CsrTopology csr =
+      net::CsrTopology::build(f.topology, *f.network);
+  sim::MultiSourceScratch scratch;
+  sim::MultiSourceResult result;
+  std::array<net::NodeId, 1> source{0};
+  for (auto _ : state) {
+    sim::simulate_broadcast_batch(csr, source, scratch, result);
+    benchmark::DoNotOptimize(result.arrival.data());
+    source[0] = (source[0] + 1) % static_cast<net::NodeId>(csr.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RelaxInnerLoop)->Arg(200)->Arg(1000)->Arg(4000);
 
 // The scale-path pair recorded in BENCH_scale.json: the parallel
 // delta-stepping engine pinned to one worker (settled-once bucket
@@ -469,4 +496,23 @@ BENCHMARK(BM_EdgeDelay);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): the emitted context's
+// `library_build_type` describes how the system libbenchmark shared object
+// was compiled (the distro package self-reports "debug"), NOT how this
+// binary was compiled — the two disagreeing in old anchors caused real
+// confusion. The perigee_* context keys below carry this binary's own
+// configure-time facts (the same source as the anchors' `meta` block) and
+// are what scripts/check_bench_regression.py --strict-build-type trusts.
+// See ARCHITECTURE.md, "Release perf truth".
+int main(int argc, char** argv) {
+  const perigee::obs::RunMeta meta = perigee::obs::capture_run_meta();
+  benchmark::AddCustomContext("perigee_build_type", meta.build_type);
+  benchmark::AddCustomContext("perigee_compiler", meta.compiler);
+  benchmark::AddCustomContext("perigee_cxx_flags", meta.cxx_flags);
+  benchmark::AddCustomContext("perigee_git_sha", meta.git_sha);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

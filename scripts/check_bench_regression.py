@@ -9,6 +9,8 @@ across CI runners would be noise. Anchor pairs today:
 
   BENCH_broadcast.json       broadcast_speedup      BM_BroadcastCsr /
                                                     BM_Broadcast
+  BENCH_broadcast.json       relax_inner_speedup    BM_RelaxInnerLoop /
+                                                    BM_Broadcast
   BENCH_multi_source.json    multi_source_speedup   BM_MultiSourceBatched /
                                                     BM_MultiSourcePerSourceCsr
   BENCH_incremental_csr.json incremental_csr_speedup BM_CsrChurnRefreshPatch /
@@ -83,9 +85,17 @@ def main():
     parser.add_argument(
         "--current-build-type",
         default=None,
-        help="build type of the current run (e.g. Debug); warns when it "
-        "differs from the anchor's meta.build_type, since ratios anchored "
-        "in one build mode are not comparable in another",
+        help="build type of the current run (e.g. Debug); defaults to the "
+        "current run's context.perigee_build_type (micro_bench injects it); "
+        "warns when it differs from the anchor's meta.build_type, since "
+        "ratios anchored in one build mode are not comparable in another",
+    )
+    parser.add_argument(
+        "--strict-build-type",
+        action="store_true",
+        help="hard-fail (exit 2) on a build-type mismatch, or when either "
+        "side's build type cannot be determined — the Release perf lane "
+        "must never silently compare against a debug-era anchor",
     )
     args = parser.parse_args()
 
@@ -101,16 +111,38 @@ def main():
     current_entries = current.get("benchmarks", [])
     anchor_speedups = anchor.get(args.key, {})
 
+    # meta.build_type is the *perigee* library's CMake build type (not
+    # google-benchmark's context.library_build_type, which reports how the
+    # benchmark .so itself was compiled — see ARCHITECTURE.md "Release perf
+    # truth"). The current run self-reports through the perigee_build_type
+    # custom context micro_bench injects; --current-build-type overrides it.
     anchor_build_type = (anchor.get("meta") or {}).get("build_type")
-    if args.current_build_type and anchor_build_type and (
-        args.current_build_type != anchor_build_type
+    current_build_type = args.current_build_type or (
+        current.get("context") or {}
+    ).get("perigee_build_type")
+    if current_build_type and anchor_build_type and (
+        current_build_type != anchor_build_type
+    ):
+        message = (
+            f"current run is {current_build_type} but {args.anchor} was "
+            f"anchored under {anchor_build_type}; speedup ratios are not "
+            "comparable across build modes — re-anchor or fix the lane's "
+            "build type"
+        )
+        if args.strict_build_type:
+            print(f"::error title=Bench build-type mismatch::{message}")
+            return 2
+        print(f"::warning title=Bench build-type mismatch::{message}")
+    elif args.strict_build_type and not (
+        current_build_type and anchor_build_type
     ):
         print(
-            f"::warning title=Bench build-type mismatch::current run is "
-            f"{args.current_build_type} but {args.anchor} was anchored "
-            f"under {anchor_build_type}; speedup ratios are not comparable "
-            "across build modes — re-anchor or fix the lane's build type"
+            "::error title=Bench build-type unknown::--strict-build-type "
+            f"needs both sides' build types (current: {current_build_type}, "
+            f"anchor: {anchor_build_type}); pass --current-build-type or "
+            "regenerate the anchor with meta"
         )
+        return 2
 
     warned = False
     checked = 0

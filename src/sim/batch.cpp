@@ -1,35 +1,74 @@
 #include "sim/batch.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "runner/thread_pool.hpp"
 #include "sim/dary_heap.hpp"
 #include "util/assert.hpp"
+#include "util/prefetch.hpp"
 #include "util/stats.hpp"
 
 namespace perigee::sim {
+
+// The false-sharing guard the SoA audit added: a lane must claim whole
+// cache lines so no two workers' lane state straddles one.
+static_assert(alignof(MultiSourceScratch::Lane) >= 64,
+              "scratch lanes must be cache-line aligned");
+
 namespace {
 
 // Per-batch relaxation plan, derived once from the snapshot's cached delay
 // bounds: bucket width w <= min δ / 2 gives every relaxation a >= 2w key
 // increase, so a candidate can never land in the bucket being drained even
-// after floating-point index rounding (see bucket_queue.hpp).
+// after floating-point index rounding (see bucket_queue.hpp). Three tiers,
+// best first:
+//  - fixed-point buckets: u32 quantized keys, integer-only pop/push path;
+//  - double-width buckets: the replay oracle, for graphs whose key span
+//    overflows the u32 grid but still fits the ring;
+//  - 4-ary heap: degenerate delays (zero/non-finite) or an unbucketable
+//    span.
 struct BatchPlan {
   bool use_buckets = false;
-  double width = 0.0;
+  bool fixed = false;
+  double width = 0.0;                 // double-width mode
+  BucketQueue::FixedPlan fixed_plan;  // fixed-point mode
 };
 
 BatchPlan make_plan(const net::CsrTopology& csr) {
   BatchPlan plan;
+  if (csr.num_links() == 0) return plan;
   const double min_delay = csr.min_delay_ms();
   const double max_reach = csr.max_delay_ms() + csr.max_validation_ms();
-  if (csr.num_links() > 0 && BucketQueue::viable(min_delay, max_reach)) {
+  // Conservative key ceiling: a settled chain is at most n nodes deep and
+  // each relaxation adds at most max_reach; doubled for slack (same bound
+  // the parallel plan uses).
+  const double max_key =
+      (static_cast<double>(csr.size()) + 1.0) * max_reach * 2.0;
+  if (const auto fixed = BucketQueue::plan_fixed(min_delay, max_reach,
+                                                 max_key)) {
+    plan.use_buckets = true;
+    plan.fixed = true;
+    plan.fixed_plan = *fixed;
+    return plan;
+  }
+  if (BucketQueue::viable(min_delay, max_reach)) {
     plan.use_buckets = true;
     plan.width = BucketQueue::preferred_width(min_delay, max_reach);
   }
   return plan;
+}
+
+// Branchless settled/stale gate: a pop is live iff its key still equals the
+// node's arrival (bit compare — both doubles share provenance, and neither
+// is NaN) and the node forwards (or mined the block). Collapsing the row to
+// empty instead of branching turns the two unpredictable per-pop branches
+// into a select the compiler lowers to cmov.
+inline bool pop_is_fresh(double t, double arrival_u) {
+  return std::bit_cast<std::uint64_t>(t) ==
+         std::bit_cast<std::uint64_t>(arrival_u);
 }
 
 // One source's Dijkstra relaxation into caller-provided stripes. The inner
@@ -47,6 +86,13 @@ BatchPlan make_plan(const net::CsrTopology& csr) {
 //    consumes arrival): the last per-edge store the reference engine makes
 //    is exactly final-arrival + Δv, and +inf + Δv == +inf keeps unreached
 //    nodes exact.
+// The Release-mode micro-pass adds three more, all order-preserving (no
+// comparison outcome and no store sequence changes, so the byte-parity
+// argument is untouched): the stale/forwards gate is evaluated branchlessly
+// by collapsing the row to empty, the next pop's row metadata is software-
+// prefetched during the current row scan, and the queue itself buckets by
+// u32 fixed-point keys when the plan admits it (pop order is still exact
+// (key, node) order — see bucket_queue.hpp).
 void solve_one(const net::CsrTopology& csr, const BatchPlan& plan,
                MultiSourceScratch::Lane& lane, net::NodeId src,
                double* arrival, double* ready) {
@@ -68,19 +114,36 @@ void solve_one(const net::CsrTopology& csr, const BatchPlan& plan,
 
   if (plan.use_buckets) {
     BucketQueue& queue = lane.queue;
-    queue.reset(plan.width);
+    if (plan.fixed) {
+      queue.reset(plan.fixed_plan);
+    } else {
+      queue.reset(plan.width);
+    }
     queue.push(0.0, src);
     while (!queue.empty()) {
-      const auto [t, u] = queue.pop();
+      const BucketQueue::Entry top = queue.pop();
+      const double t = top.key;
+      const net::NodeId u = top.node;
+      // Overlap the next pop's data-dependent loads (its row bounds and
+      // arrival slot) with this row's scan; on a bucket boundary peek_next
+      // degrades to re-hinting u, which costs nothing.
+      const net::NodeId nxt = queue.peek_next(u);
+      PERIGEE_PREFETCH(&offsets[nxt]);
+      PERIGEE_PREFETCH(&arrival[nxt]);
       PERIGEE_TELEMETRY_ONLY(++tally_pops;)
-      if (t != arrival[u]) {  // stale: u settled at a smaller key
-        PERIGEE_TELEMETRY_ONLY(++tally_stale;)
-        continue;
-      }
-      if (!csr.forwards(u) && u != src) continue;
+      // Branchless settle: stale or non-forwarding pops scan an empty row
+      // (row_end collapsed onto row_begin) instead of taking a branch the
+      // predictor can't learn.
+      const bool fresh = pop_is_fresh(t, arrival[u]);
+      const bool live = fresh & (csr.forwards(u) | (u == src));
+      PERIGEE_TELEMETRY_ONLY(tally_stale += fresh ? 0 : 1;)
+      const std::size_t row_begin = offsets[u];
+      const std::size_t row_end = live ? row_ends[u] : row_begin;
       const double ready_u = u == src ? 0.0 : t + csr.validation_ms(u);
-      const std::size_t row_end = row_ends[u];
-      for (std::size_t e = offsets[u]; e < row_end; ++e) {
+      for (std::size_t e = row_begin; e < row_end; ++e) {
+        if (e + util::kEdgePrefetchDistance < row_end) {
+          PERIGEE_PREFETCH(&arrival[peers[e + util::kEdgePrefetchDistance]]);
+        }
         const net::NodeId v = peers[e];
         const double cand = ready_u + delays[e];
         if (cand < arrival[v]) {
@@ -90,6 +153,7 @@ void solve_one(const net::CsrTopology& csr, const BatchPlan& plan,
       }
     }
     PERIGEE_COUNTER_ADD("engine.bucket.sources", 1);
+    PERIGEE_COUNTER_ADD("engine.bucket.fixed_sources", plan.fixed ? 1 : 0);
     PERIGEE_COUNTER_ADD("engine.bucket.pops", tally_pops);
     PERIGEE_COUNTER_ADD("engine.bucket.stale_pops", tally_stale);
     PERIGEE_COUNTER_ADD("engine.bucket.empty_skips", queue.empty_skips());
@@ -100,14 +164,16 @@ void solve_one(const net::CsrTopology& csr, const BatchPlan& plan,
     while (!heap.empty()) {
       const auto [t, u] = heap_pop(heap);
       PERIGEE_TELEMETRY_ONLY(++tally_pops;)
-      if (t != arrival[u]) {  // stale: u settled at a smaller key
-        PERIGEE_TELEMETRY_ONLY(++tally_stale;)
-        continue;
-      }
-      if (!csr.forwards(u) && u != src) continue;
+      const bool fresh = pop_is_fresh(t, arrival[u]);
+      const bool live = fresh & (csr.forwards(u) | (u == src));
+      PERIGEE_TELEMETRY_ONLY(tally_stale += fresh ? 0 : 1;)
+      const std::size_t row_begin = offsets[u];
+      const std::size_t row_end = live ? row_ends[u] : row_begin;
       const double ready_u = u == src ? 0.0 : t + csr.validation_ms(u);
-      const std::size_t row_end = row_ends[u];
-      for (std::size_t e = offsets[u]; e < row_end; ++e) {
+      for (std::size_t e = row_begin; e < row_end; ++e) {
+        if (e + util::kEdgePrefetchDistance < row_end) {
+          PERIGEE_PREFETCH(&arrival[peers[e + util::kEdgePrefetchDistance]]);
+        }
         const net::NodeId v = peers[e];
         const double cand = ready_u + delays[e];
         if (cand < arrival[v]) {
@@ -116,8 +182,8 @@ void solve_one(const net::CsrTopology& csr, const BatchPlan& plan,
         }
       }
     }
-    // Heap sources = the bucket queue's viability check failed for this
-    // snapshot (degenerate delays or too wide a key span).
+    // Heap sources = both bucket plans failed for this snapshot (degenerate
+    // delays or too wide a key span).
     PERIGEE_COUNTER_ADD("engine.heap.sources", 1);
     PERIGEE_COUNTER_ADD("engine.heap.pops", tally_pops);
     PERIGEE_COUNTER_ADD("engine.heap.stale_pops", tally_stale);
@@ -219,15 +285,12 @@ void simulate_broadcast_batch(const net::CsrTopology& csr,
                               .arg("sources", sources.size())
                               .arg("nodes", n)
                               .json());
-  out.nodes = n;
-  out.sources.assign(sources.begin(), sources.end());
-  out.arrival.resize(sources.size() * n);
-  out.ready.resize(sources.size() * n);
+  out.prepare(n, sources);
   const BatchPlan plan = make_plan(csr);
   dispatch(sources.size(), scratch, pool,
            [&](std::size_t lane_idx, std::size_t s) {
              solve_one(csr, plan, scratch.lane(lane_idx), sources[s],
-                       out.arrival.data() + s * n, out.ready.data() + s * n);
+                       out.arrival_data(s), out.ready_data(s));
            });
   PERIGEE_GAUGE_MAX("mem.batch_scratch_bytes", scratch.memory_bytes());
 }

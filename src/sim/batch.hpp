@@ -40,6 +40,7 @@
 #include "sim/broadcast.hpp"
 #include "sim/bucket_queue.hpp"
 #include "sim/dary_heap.hpp"
+#include "util/aligned.hpp"
 
 namespace perigee::runner {
 class ThreadPool;
@@ -49,20 +50,48 @@ namespace perigee::sim {
 
 /// SoA outcome of one batch: per-source stripes of two shared arenas.
 /// Stripe `s` of each arena holds what `BroadcastResult::arrival` / `ready`
-/// would for `sources[s]`.
+/// would for `sources[s]`. Stripes are padded to a whole cache line
+/// (`stride()` doubles apart, >= nodes) and the arenas themselves are
+/// line-aligned (util::AlignedDoubles) — both halves are needed for two
+/// pool workers writing adjacent stripes to never false-share the line
+/// straddling their boundary. The pad tail is never read (every accessor
+/// spans exactly `nodes`).
 struct MultiSourceResult {
-  std::size_t nodes = 0;               ///< stripe length
+  /// Doubles per cache line — the stripe padding quantum.
+  static constexpr std::size_t kLineDoubles = 64 / sizeof(double);
+
+  std::size_t nodes = 0;               ///< stripe length (without padding)
   std::vector<net::NodeId> sources;    ///< batch echo, stripe index -> source
-  std::vector<double> arrival;         ///< sources.size() stripes of `nodes`
-  std::vector<double> ready;           ///< sources.size() stripes of `nodes`
+  util::AlignedDoubles arrival;        ///< sources.size() stripes of stride()
+  util::AlignedDoubles ready;          ///< sources.size() stripes of stride()
+
+  /// `nodes` rounded up to a whole cache line of doubles.
+  static std::size_t stride_for(std::size_t nodes) {
+    return (nodes + (kLineDoubles - 1)) & ~(kLineDoubles - 1);
+  }
+  /// Doubles between consecutive stripes' starts in each arena.
+  std::size_t stride() const { return stride_for(nodes); }
+
+  /// Sets the batch shape and sizes both arenas (`sources × stride()`).
+  /// The engines call this before fanning out stripe writers.
+  void prepare(std::size_t node_count, std::span<const net::NodeId> srcs) {
+    nodes = node_count;
+    sources.assign(srcs.begin(), srcs.end());
+    arrival.resize(sources.size() * stride());
+    ready.resize(sources.size() * stride());
+  }
+
+  /// Mutable start of stripe `s` (engine writers only).
+  double* arrival_data(std::size_t s) { return arrival.data() + s * stride(); }
+  double* ready_data(std::size_t s) { return ready.data() + s * stride(); }
 
   /// Arrival stripe of batch entry `s`.
   std::span<const double> arrival_of(std::size_t s) const {
-    return {arrival.data() + s * nodes, nodes};
+    return {arrival.data() + s * stride(), nodes};
   }
   /// Ready stripe of batch entry `s`.
   std::span<const double> ready_of(std::size_t s) const {
-    return {ready.data() + s * nodes, nodes};
+    return {ready.data() + s * stride(), nodes};
   }
   /// Copies stripe `s` into the single-source result shape (block hooks,
   /// tests). `out`'s vectors are reused.
@@ -104,7 +133,13 @@ class MultiSourceScratch {
 /// Per-worker scratch: engine internals plus a caller-usable sort buffer.
 /// (No settled array: the engine detects stale queue entries by comparing
 /// the popped key against the node's current arrival instead.)
-struct MultiSourceScratch::Lane {
+///
+/// alignas(64): each lane object starts on its own cache line, so the hot
+/// scalar state of two workers' lanes (queue cursors, vector headers) never
+/// shares one — the vectors' heap blocks are naturally distinct already.
+/// `tests/sim_batch_layout_test.cpp` guards both this and the stripe
+/// padding above against regression.
+struct alignas(64) MultiSourceScratch::Lane {
   BucketQueue queue;                  ///< fast-path relaxation queue
   std::vector<HeapItem> heap;         ///< fallback 4-ary heap storage
   std::vector<double> arrival;        ///< streaming-form stripe

@@ -5,6 +5,7 @@
 
 #include "sim/dary_heap.hpp"
 #include "util/assert.hpp"
+#include "util/prefetch.hpp"
 #include "util/stats.hpp"
 
 namespace perigee::sim {
@@ -77,16 +78,26 @@ void simulate_broadcast(const net::CsrTopology& csr, net::NodeId miner,
   const net::NodeId* peers = csr.peer_data();
   const double* delays = csr.delay_data();
 
+  // Same micro-pass as the batched engine's hot loop (see batch.cpp): the
+  // settled/forwards gate collapses the row to empty instead of branching,
+  // and upcoming arrival slots are software-prefetched. The per-edge
+  // settled[v] skip is dropped — for a settled v, arrival[v] <= ready <=
+  // cand already makes the improvement test false, so no store sequence
+  // changes (the parity suites pin this engine to the legacy walker).
   while (!scratch.heap.empty()) {
-    const auto [t, u] = heap_pop(scratch.heap);
-    if (scratch.settled[u]) continue;
+    const net::NodeId u = heap_pop(scratch.heap).second;
+    const std::uint8_t was_settled = scratch.settled[u];
     scratch.settled[u] = 1;
-    if (!csr.forwards(u) && u != miner) continue;
+    const bool live =
+        (was_settled == 0) & (csr.forwards(u) | (u == miner));
+    const std::size_t row_begin = offsets[u];
+    const std::size_t row_end = live ? row_ends[u] : row_begin;
     const double ready = result.ready[u];
-    const std::size_t row_end = row_ends[u];
-    for (std::size_t e = offsets[u]; e < row_end; ++e) {
+    for (std::size_t e = row_begin; e < row_end; ++e) {
+      if (e + util::kEdgePrefetchDistance < row_end) {
+        PERIGEE_PREFETCH(&result.arrival[peers[e + util::kEdgePrefetchDistance]]);
+      }
       const net::NodeId v = peers[e];
-      if (scratch.settled[v]) continue;
       const double cand = ready + delays[e];
       if (cand < result.arrival[v]) {
         result.arrival[v] = cand;

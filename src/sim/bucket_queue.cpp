@@ -27,8 +27,47 @@ double BucketQueue::preferred_width(double min_delay, double max_reach) {
   return std::min(width, min_delay * 0.5);
 }
 
-void BucketQueue::reset(double width) {
-  PERIGEE_ASSERT(width > 0.0 && std::isfinite(width));
+std::optional<BucketQueue::FixedPlan> BucketQueue::plan_fixed(
+    double min_delay, double max_reach, double max_key) {
+  if (!(min_delay > 0.0) || !std::isfinite(min_delay)) return std::nullopt;
+  if (!(max_reach >= 0.0) || !std::isfinite(max_reach)) return std::nullopt;
+  if (!(max_key > 0.0) || !std::isfinite(max_key)) return std::nullopt;
+  // Grid resolving the smallest delay into ~2^9 units (same derivation as
+  // the parallel engine's plan), coarsened until every key the relaxation
+  // can conceivably form quantizes below 2^32 — the bound that makes the
+  // u32 qkey image lossless.
+  util::FixedPointScale grid = util::FixedPointScale::fit(min_delay, 10);
+  while (grid.exponent > -1060 && max_key * grid.scale >= 0x1p32) {
+    --grid.exponent;
+    grid.scale = std::ldexp(1.0, grid.exponent);
+  }
+  if (max_key * grid.scale >= 0x1p32) return std::nullopt;
+  // The width ceiling (<= min-delay / 2) as an exact integer inequality; a
+  // min delay that quantizes below 2 admits no correct power-of-two width
+  // on this grid.
+  const std::uint64_t min_q = grid.quantize(min_delay);
+  const std::optional<int> ceiling = util::bucket_width_shift(min_q);
+  if (!ceiling.has_value()) return std::nullopt;
+  // Start from the occupancy sweet spot double mode runs at — the widest
+  // power-of-two width not above min-delay / kOccupancyDivisor, i.e. 3
+  // shifts under the delta-stepping ceiling (<= min-delay / 2). Thin
+  // buckets keep the active-bucket insertion sort near-free; starting at
+  // the ceiling measurably slows the batched all-sources eval. Then widen
+  // until one relaxation reach of pending buckets fits the same ring
+  // budget double mode steers to. Wider buckets stay order-correct here:
+  // the sequential queue drains its active bucket sorted, so width only
+  // trades scan cost against in-bucket insert cost.
+  int shift = *ceiling >= 3 ? *ceiling - 3 : 0;
+  const std::uint64_t reach_q = grid.quantize(max_reach);
+  while (shift < 40 && (reach_q >> shift) + 4 >= kPreferredBuckets) ++shift;
+  if ((reach_q >> shift) + 4 >= kPreferredBuckets) return std::nullopt;
+  FixedPlan plan;
+  plan.grid = grid;
+  plan.shift = shift;
+  return plan;
+}
+
+void BucketQueue::clear_and_rewind() {
   if (size_ != 0) {
     for (std::size_t w = 0; w < occupied_.size(); ++w) {
       std::uint64_t bits = occupied_[w];
@@ -41,14 +80,29 @@ void BucketQueue::reset(double width) {
     }
     size_ = 0;
   }
-  width_ = width;
-  inv_width_ = 1.0 / width;
   cur_ = 0;
   cur_sorted_ = false;
 #ifdef PERIGEE_TELEMETRY
   empty_skips_ = 0;
 #endif
   if (ring_.empty()) grow(0);  // keeps the ring check out of push()
+}
+
+void BucketQueue::reset(double width) {
+  PERIGEE_ASSERT(width > 0.0 && std::isfinite(width));
+  clear_and_rewind();
+  fixed_ = false;
+  width_ = width;
+  inv_width_ = 1.0 / width;
+}
+
+void BucketQueue::reset(const FixedPlan& plan) {
+  PERIGEE_ASSERT(plan.grid.scale > 0.0 && plan.shift >= 0);
+  clear_and_rewind();
+  fixed_ = true;
+  scale_ = plan.grid.scale;
+  shift_ = plan.shift;
+  width_ = plan.width();
 }
 
 void BucketQueue::sort_bucket(std::vector<Entry>& bucket) {
@@ -70,13 +124,11 @@ void BucketQueue::grow(std::uint64_t span_needed) {
   std::vector<std::vector<Entry>> fresh(capacity);
   const std::uint64_t new_mask = capacity - 1;
   // Remap live buckets: every entry of a slot shares one absolute bucket
-  // index (pending keys span < old capacity), recoverable from any key —
-  // except a clamped fp-slop entry in the active bucket, whose key maps one
-  // low; the max with cur_ restores the slot it was actually stored in.
+  // index (pending keys span < old capacity), recoverable from any entry
+  // via the mode-aware bucket_of_entry.
   for (auto& bucket : ring_) {
     if (bucket.empty()) continue;
-    const std::uint64_t abs_bucket =
-        std::max(bucket_of(bucket.front().key), cur_);
+    const std::uint64_t abs_bucket = bucket_of_entry(bucket.front());
     fresh[abs_bucket & new_mask] = std::move(bucket);
   }
   ring_ = std::move(fresh);

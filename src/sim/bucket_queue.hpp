@@ -21,6 +21,27 @@
 /// directly, and the batched engine therefore settles nodes in exactly the
 /// reference engine's sequence.
 ///
+/// Two bucketing modes share the ring (selected per `reset` overload):
+///
+///  - **u32 fixed-point** (the engine's hot path): keys are quantized onto a
+///    power-of-two grid (`util::FixedPointScale`, exact floor) at push time
+///    and the bucket index is `qkey >> shift` — pure integer math. The exact
+///    floor is monotone, so a push can never land below the bucket being
+///    drained and the double-rounding clamp disappears from `push`; the
+///    active-bucket sort compares the stored u32 qkey first and only breaks
+///    qkey ties through the key's IEEE bit pattern (for finite nonnegative
+///    doubles, unsigned bit-pattern order *is* numeric order), so the hot
+///    pop/sort path performs no double compares at all. `plan_fixed` derives
+///    a grid whose largest conceivable key fits u32.
+///  - **double width** (the replay oracle): the original `floor(key *
+///    inv_width)` indexing, kept for graphs whose key span overflows the u32
+///    grid and as the independently-verified oracle the fixed-point mode is
+///    property-tested against.
+///
+/// Pop order is identical in both modes — the mode only decides how entries
+/// are *grouped*, never how they compare — which is what lets the engines
+/// switch modes per snapshot without breaking the byte-parity bar.
+///
 /// The bucket array is a power-of-two ring over *absolute* bucket indices
 /// (slot = index & mask), valid because pending keys span less than the ring
 /// capacity; a bitmap over slots makes skipping empty buckets O(ring/64) in
@@ -29,25 +50,35 @@
 /// allocation.
 #pragma once
 
+#include <bit>
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "net/types.hpp"
+#include "util/fixedpoint.hpp"
 
 namespace perigee::sim {
 
 class BucketQueue {
  public:
-  /// One queued element: (arrival-time key, node).
+  /// One queued element: (arrival-time key, fixed-point image, node). `qkey`
+  /// is `floor(key * scale)` in fixed-point mode and 0 in double mode; it is
+  /// the primary sort key either way (all-zero qkeys defer to the exact
+  /// bit-pattern compare, so double mode orders identically).
   struct Entry {
     double key;
+    std::uint32_t qkey;
     net::NodeId node;
   };
+  static_assert(sizeof(Entry) == 16, "keep bucket entries two per load pair");
 
   /// Hard ring-size ceiling enforced by `grow`.
   static constexpr std::uint64_t kMaxBuckets = std::uint64_t{1} << 20;
-  /// Ring size `preferred_width` steers towards (memory/scan sweet spot).
+  /// Ring size `preferred_width`/`plan_fixed` steer towards (memory/scan
+  /// sweet spot).
   static constexpr std::uint64_t kPreferredBuckets = std::uint64_t{1} << 16;
   /// Denominator of the default width min_delay / 16: several buckets per
   /// smallest edge delay keeps buckets thin (~1–3 entries), so the active-
@@ -66,16 +97,47 @@ class BucketQueue {
   /// at the min_delay / 2 correctness ceiling.
   static double preferred_width(double min_delay, double max_reach);
 
-  /// Empties the queue and sets the bucket width. Keeps previously grown
-  /// storage. `width` must be > 0 and finite; pair it with `viable` so the
-  /// span of keys reachable from one relaxation fits `kMaxBuckets`.
+  /// A fixed-point bucketing plan: the quantization grid plus the power-of-
+  /// two bucket width (`2^shift` grid units).
+  struct FixedPlan {
+    util::FixedPointScale grid;
+    int shift = 0;
+    /// Bucket width in key units (milliseconds) — exact, both factors are
+    /// powers of two.
+    double width() const { return std::ldexp(1.0, shift - grid.exponent); }
+  };
+
+  /// Derives the fixed-point plan for a graph whose keys never exceed
+  /// `max_key` (callers bound it by n relaxations of `max_reach` each, with
+  /// slack): the finest power-of-two grid that resolves `min_delay` to ~2^9
+  /// units, coarsened until `max_key` quantizes below 2^32 so every qkey
+  /// fits u32; the bucket width starts at the occupancy sweet spot
+  /// (<= min_delay / kOccupancyDivisor, matching double mode's preferred
+  /// width) and widens until one relaxation reach fits the
+  /// `kPreferredBuckets` ring budget. nullopt when no grid works —
+  /// degenerate delays, or a key span over ~2^31x the min delay, where the
+  /// u32 image cannot both hold `max_key` and resolve `min_delay` to the
+  /// >= 2 units a bucket width needs — and callers fall back to the
+  /// double-width mode or the heap.
+  static std::optional<FixedPlan> plan_fixed(double min_delay,
+                                             double max_reach, double max_key);
+
+  /// Empties the queue and selects **double-width mode**. Keeps previously
+  /// grown storage. `width` must be > 0 and finite; pair it with `viable` so
+  /// the span of keys reachable from one relaxation fits `kMaxBuckets`.
   void reset(double width);
+
+  /// Empties the queue and selects **fixed-point mode** with `plan` (from
+  /// `plan_fixed`). Keeps previously grown storage.
+  void reset(const FixedPlan& plan);
 
   /// Pending entries (including not-yet-skipped duplicates).
   std::size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
-  /// The width `reset` installed.
+  /// The bucket width the last `reset` installed (exact in both modes).
   double width() const { return width_; }
+  /// True when the last `reset` selected fixed-point mode.
+  bool fixed_point() const { return fixed_; }
 
   /// Empty buckets skipped by `advance_to_nonempty` since the last `reset`.
   /// Telemetry only (flushed into the obs registry per source by the batch
@@ -98,21 +160,33 @@ class BucketQueue {
   }
 
   /// Inserts an entry. Contract (unchecked in the hot path): `reset` was
-  /// called at least once, and `key` is finite, >= 0, and >= the key of the
-  /// last `pop` (the Dijkstra monotonicity this queue is built for).
+  /// called at least once, and `key` is finite, >= 0 (never -0.0 — its bit
+  /// pattern would sort above every positive key), and >= the key of the
+  /// last `pop` (the Dijkstra monotonicity this queue is built for). In
+  /// fixed-point mode the caller's plan additionally bounds `key * scale`
+  /// below 2^32 (`plan_fixed` guarantees it for in-plan graphs).
   /// Inline: a sparse relaxation pushes a few thousand times per source, so
   /// the O(1) body must not cost a call.
   void push(double key, net::NodeId node) {
-    std::uint64_t bucket = bucket_of(key);
-    // Monotone contract gives bucket >= cur_ up to a sub-ulp rounding of
-    // key * inv_width_, which can map an equal key one bucket low; clamping
-    // preserves exact pop order (the key belongs among the current bucket's
-    // remainder either way).
-    if (bucket < cur_) bucket = cur_;
+    std::uint32_t qkey = 0;
+    std::uint64_t bucket;
+    if (fixed_) {
+      // Exact floor onto the grid (scale is a power of two); monotone, so
+      // the bucket can never fall below cur_ — no clamp.
+      qkey = static_cast<std::uint32_t>(key * scale_);
+      bucket = qkey >> shift_;
+    } else {
+      bucket = static_cast<std::uint64_t>(key * inv_width_);
+      // Monotone contract gives bucket >= cur_ up to a sub-ulp rounding of
+      // key * inv_width_, which can map an equal key one bucket low;
+      // clamping preserves exact pop order (the key belongs among the
+      // current bucket's remainder either way).
+      if (bucket < cur_) bucket = cur_;
+    }
     if (bucket - cur_ >= mask_ + 1) grow(bucket - cur_);
     std::vector<Entry>& vec = slot(bucket);
     if (vec.empty()) mark_occupied(bucket);
-    const Entry entry{key, node};
+    const Entry entry{key, qkey, node};
     if (bucket == cur_ && cur_sorted_) {
       // Rare (the engine's width margin makes it impossible there, see the
       // file comment): keep the active bucket's descending order intact.
@@ -162,13 +236,38 @@ class BucketQueue {
     return e;
   }
 
- private:
-  /// Descending (key, node) order — the drain-from-back sort order.
-  static bool greater(const Entry& a, const Entry& b) {
-    return a.key != b.key ? a.key > b.key : a.node > b.node;
+  /// Node id the next `pop` would return *if* it sits in the bucket being
+  /// drained, else `fallback`. O(1): the active bucket drains sorted from
+  /// the back, and the engines' width margin keeps concurrent pushes out of
+  /// it, so `back()` right after a pop *is* the next pop. The engines feed
+  /// this to a software prefetch of the next CSR row while the current one
+  /// is scanned — a wrong-but-harmless `fallback` on bucket boundaries
+  /// costs one redundant prefetch hint, nothing more.
+  net::NodeId peek_next(net::NodeId fallback) const {
+    const std::vector<Entry>& vec = ring_[cur_ & mask_];
+    return (cur_sorted_ && !vec.empty()) ? vec.back().node : fallback;
   }
-  std::uint64_t bucket_of(double key) const {
-    return static_cast<std::uint64_t>(key * inv_width_);
+
+ private:
+  /// Descending (key, node) order — the drain-from-back sort order. The u32
+  /// qkey image decides first (0 for every entry in double mode); a qkey tie
+  /// falls through to the exact key via its IEEE bit pattern — for finite
+  /// nonnegative doubles the unsigned bit-pattern order equals the numeric
+  /// order, so ties and 1-ulp-apart keys resolve exactly, with no double
+  /// compare anywhere on the path.
+  static bool greater(const Entry& a, const Entry& b) {
+    if (a.qkey != b.qkey) return a.qkey > b.qkey;
+    const std::uint64_t ab = std::bit_cast<std::uint64_t>(a.key);
+    const std::uint64_t bb = std::bit_cast<std::uint64_t>(b.key);
+    return ab != bb ? ab > bb : a.node > b.node;
+  }
+  /// Mode-aware recompute of an entry's absolute bucket (grow's remap).
+  std::uint64_t bucket_of_entry(const Entry& e) const {
+    if (fixed_) return std::uint64_t{e.qkey} >> shift_;
+    // The max with cur_ restores the slot a clamped fp-slop entry in the
+    // active bucket was actually stored in.
+    const auto bucket = static_cast<std::uint64_t>(e.key * inv_width_);
+    return bucket < cur_ ? cur_ : bucket;
   }
   std::vector<Entry>& slot(std::uint64_t bucket) {
     return ring_[bucket & mask_];
@@ -183,11 +282,15 @@ class BucketQueue {
   }
   static void sort_bucket(std::vector<Entry>& bucket);
   static void push_sorted(std::vector<Entry>& bucket, Entry entry);
+  void clear_and_rewind();
   void grow(std::uint64_t span_needed);
   void advance_to_nonempty();
 
   double width_ = 1.0;
-  double inv_width_ = 1.0;
+  double inv_width_ = 1.0;   ///< double mode only
+  double scale_ = 1.0;       ///< fixed-point mode: the grid's 2^exponent
+  int shift_ = 0;            ///< fixed-point mode: log2 bucket width (units)
+  bool fixed_ = false;       ///< mode selected by the last reset
   std::uint64_t cur_ = 0;    ///< absolute index of the bucket being drained
   bool cur_sorted_ = false;  ///< true once `cur_`'s slot was sorted
   std::size_t size_ = 0;

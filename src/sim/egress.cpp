@@ -320,15 +320,12 @@ void simulate_broadcast_egress_batch(const net::CsrTopology& csr,
                               .arg("sources", sources.size())
                               .arg("nodes", n)
                               .json());
-  out.nodes = n;
-  out.sources.assign(sources.begin(), sources.end());
-  out.arrival.resize(sources.size() * n);
-  out.ready.resize(sources.size() * n);
+  out.prepare(n, sources);
   dispatch(sources.size(), scratch, pool,
            [&](std::size_t lane_idx, std::size_t s) {
              solve_egress(csr, config, plan, scratch.lane(lane_idx),
-                          sources[s], out.arrival.data() + s * n,
-                          out.ready.data() + s * n);
+                          sources[s], out.arrival_data(s),
+                          out.ready_data(s));
            });
   PERIGEE_GAUGE_MAX("mem.egress_scratch_bytes", scratch.memory_bytes());
 }

@@ -11,6 +11,7 @@
 #include "sim/dary_heap.hpp"
 #include "util/assert.hpp"
 #include "util/fixedpoint.hpp"
+#include "util/prefetch.hpp"
 #include "util/stats.hpp"
 
 namespace perigee::sim {
@@ -26,7 +27,11 @@ constexpr std::uint64_t kMaxRingBuckets = std::uint64_t{1} << 20;
 /// Per-worker lane. The ring is a power-of-two window over absolute bucket
 /// indices (slot = index & mask) holding bare node ids — settled-once means
 /// entries need no keys; a stale duplicate is skipped by the settled bitmap.
-struct ParallelScratch::Lane {
+///
+/// alignas(64): team members hammer their own lane's cursors and outboxes
+/// every bucket round; starting each lane on its own cache line keeps that
+/// traffic private (same guard as MultiSourceScratch::Lane).
+struct alignas(64) ParallelScratch::Lane {
   /// A buffered remote relaxation: the target node and the candidate key's
   /// bit pattern (doubles are carried through std::bit_cast so one buffer
   /// type serves both the double and the u64 fixed-point world).
@@ -105,6 +110,9 @@ struct ParallelScratch::Lane {
     return bytes;
   }
 };
+
+static_assert(alignof(ParallelScratch::Lane) >= 64,
+              "parallel lanes must be cache-line aligned");
 
 ParallelScratch::ParallelScratch() = default;
 ParallelScratch::~ParallelScratch() = default;
@@ -317,15 +325,28 @@ void delta_step_team(const World& world, std::uint32_t src,
       PERIGEE_TELEMETRY_ONLY(++tally_buckets;)
       for (unsigned t = 0; t < members; ++t) lane.outbox[t].clear();
       const std::vector<std::uint32_t>& slot = lane.ring[cur & lane.mask];
-      for (const std::uint32_t u : slot) {
-        if (lane.settled[u - lo] != 0) continue;  // stale duplicate
+      for (std::size_t i = 0; i < slot.size(); ++i) {
+        const std::uint32_t u = slot[i];
+        if (i + 1 < slot.size()) {
+          // Overlap the next entry's data-dependent loads with this row.
+          PERIGEE_PREFETCH(&arrival[slot[i + 1]]);
+          PERIGEE_PREFETCH(&lane.settled[slot[i + 1] - lo]);
+        }
+        // Branchless settle (same transform as batch.cpp): a stale
+        // duplicate or non-forwarding node scans an empty row instead of
+        // branching. Settled-once semantics are preserved — the flag is
+        // written unconditionally, and a stale entry's arrival reads are
+        // harmless (its computed candidates are never used).
+        const std::uint8_t was_settled = lane.settled[u - lo];
         lane.settled[u - lo] = 1;
-        if (!world.forwards(u) && u != src) continue;
+        const bool live =
+            (was_settled == 0) & (world.forwards(u) | (u == src));
         const Key t = arrival[u];
         const Key ready_u = u == src ? Key{} : world.ready_of(t, u);
-        const std::size_t row_end = world.row_end(u);
-        PERIGEE_TELEMETRY_ONLY(++tally_relaxed;)
-        for (std::size_t e = world.row_begin(u); e < row_end; ++e) {
+        const std::size_t row_begin = world.row_begin(u);
+        const std::size_t row_end = live ? world.row_end(u) : row_begin;
+        PERIGEE_TELEMETRY_ONLY(tally_relaxed += live ? 1 : 0;)
+        for (std::size_t e = row_begin; e < row_end; ++e) {
           const std::uint32_t v = world.peer(e);
           const Key cand = world.cand_of(ready_u, e);
           if (v >= lo && v < hi) {

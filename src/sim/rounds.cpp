@@ -71,15 +71,11 @@ void RoundRunner::run_round() {
       // block instead of fanning out across blocks — the winning shape
       // when n is large and K small). Stripe bytes are identical either
       // way, so everything downstream is too.
-      const std::size_t n = csr.size();
-      batch_result_.nodes = n;
-      batch_result_.sources.assign(miners_.begin(), miners_.end());
-      batch_result_.arrival.resize(miners_.size() * n);
-      batch_result_.ready.resize(miners_.size() * n);
+      batch_result_.prepare(csr.size(), miners_);
       for (std::size_t b = 0; b < miners_.size(); ++b) {
         simulate_broadcast_parallel(csr, miners_[b], parallel_scratch_,
-                                    batch_result_.arrival.data() + b * n,
-                                    batch_result_.ready.data() + b * n,
+                                    batch_result_.arrival_data(b),
+                                    batch_result_.ready_data(b),
                                     pool_);
       }
     } else {

@@ -1,0 +1,51 @@
+/// \file
+/// \brief Minimal over-aligned allocator for cache-line-sensitive arenas.
+///
+/// `std::vector<double>` only guarantees `alignof(std::max_align_t)` (16 on
+/// x86-64), so an arena whose *stripes* are padded to whole cache lines can
+/// still start mid-line and leak false sharing across stripe boundaries.
+/// Backing the vector with this allocator makes the base line-aligned, which
+/// together with line-padded strides puts every stripe on its own lines
+/// (tests/sim_batch_layout_test.cpp holds both halves of that contract).
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace perigee::util {
+
+template <class T, std::size_t Align = 64>
+struct AlignedAllocator {
+  static_assert(Align >= alignof(T) && (Align & (Align - 1)) == 0,
+                "alignment must be a power of two covering T");
+  using value_type = T;
+  // The non-type Align parameter defeats allocator_traits' default rebind
+  // deduction, so spell it out.
+  template <class U>
+  struct rebind {
+    using other = AlignedAllocator<U, Align>;
+  };
+
+  AlignedAllocator() = default;
+  template <class U>
+  AlignedAllocator(const AlignedAllocator<U, Align>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{Align}));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{Align});
+  }
+
+  template <class U>
+  bool operator==(const AlignedAllocator<U, Align>&) const noexcept {
+    return true;
+  }
+};
+
+/// A cache-line-aligned double arena: the batched engines' stripe store.
+using AlignedDoubles = std::vector<double, AlignedAllocator<double>>;
+
+}  // namespace perigee::util

@@ -1,0 +1,30 @@
+/// \file
+/// \brief Portable software-prefetch hint for the relaxation hot loops.
+///
+/// The Dijkstra relaxation's cache behavior is two-phased: the CSR row of
+/// the node being relaxed streams sequentially (the hardware prefetcher
+/// handles it), but the *next* pop's row metadata and the `arrival[]` slots
+/// behind each `peers[e]` are data-dependent loads the prefetcher cannot
+/// predict. `PERIGEE_PREFETCH` lets the engines overlap those misses with
+/// the current row scan. It is strictly a hint: expanding to nothing on
+/// compilers without `__builtin_prefetch` changes no behavior, and the
+/// address does not need to be dereferenceable.
+#pragma once
+
+#if defined(__GNUC__) || defined(__clang__)
+/// Read-intent prefetch with moderate temporal locality (L2-ish). `addr`
+/// may be any pointer-like expression; faulting addresses are safe.
+#define PERIGEE_PREFETCH(addr) __builtin_prefetch((addr), 0, 1)
+#else
+#define PERIGEE_PREFETCH(addr) ((void)0)
+#endif
+
+namespace perigee::util {
+
+/// How far ahead of the edge cursor the engines prefetch `arrival[peer]`.
+/// Eight edges ≈ one cache line of u32 peer ids: far enough to cover an
+/// L2 hit, close enough that degree-8 rows (the Perigee dout default)
+/// still prefetch their tail instead of a neighboring row's slots.
+inline constexpr int kEdgePrefetchDistance = 8;
+
+}  // namespace perigee::util

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <map>
 #include <queue>
@@ -156,6 +157,171 @@ TEST(BucketQueue, ResetDiscardsPendingEntries) {
   queue.reset(0.25);
   EXPECT_TRUE(queue.empty());
   EXPECT_EQ(queue.width(), 0.25);
+  queue.push(3.0, 7);
+  const auto e = queue.pop();
+  EXPECT_EQ(e.key, 3.0);
+  EXPECT_EQ(e.node, 7u);
+}
+
+// ---- fixed-point mode (ISSUE 10 micro-pass) ------------------------------
+//
+// The engines run the queue with u32 quantized keys when plan_fixed admits
+// the delay range. The bar is identical to double mode: the pop sequence is
+// *exactly* std::priority_queue<pair<double, NodeId>, greater<>> order —
+// quantization may only coarsen the bucket index, never reorder pops,
+// because qkey ties fall through to the exact double key.
+
+// Same harness as run_mirrored but with tie and 1-ulp-apart keys mixed in:
+// those collide to one qkey, so ordering must come from the exact double
+// compare behind it. With `plan` non-null the queue runs in fixed-point
+// mode; with null it runs double-keyed at `gen_width` — the workload stream
+// is a pure function of `rng` and `gen_width` either way, so one seed
+// replays byte-identically through both modes.
+void run_mirrored_fixed(sim::BucketQueue& queue, util::Rng& rng,
+                        const sim::BucketQueue::FixedPlan* plan,
+                        double gen_width, int ops, double max_step,
+                        std::vector<Item>& popped) {
+  if (plan != nullptr) {
+    queue.reset(*plan);
+    ASSERT_TRUE(queue.fixed_point());
+  } else {
+    queue.reset(gen_width);
+    ASSERT_FALSE(queue.fixed_point());
+  }
+  popped.clear();
+  MinHeap reference;
+  double last_pop = 0.0;
+  const auto push_both = [&](double key, net::NodeId node) {
+    queue.push(key, node);
+    reference.emplace(key, node);
+  };
+  for (int i = 0; i < ops; ++i) {
+    const bool do_push = reference.empty() || rng.uniform() < 0.55;
+    if (do_push) {
+      double key = last_pop + rng.uniform() * max_step;
+      const double r = rng.uniform();
+      if (r < 0.1) key = last_pop;  // exact duplicate of the frontier
+      if (r >= 0.1 && r < 0.2) {
+        // Exact quantization-grid boundary: multiples of the bucket width.
+        key = gen_width *
+              static_cast<double>(static_cast<int>(key / gen_width) + 1);
+      }
+      const auto node = static_cast<net::NodeId>(rng.uniform_index(64));
+      push_both(key, node);
+      if (r >= 0.2 && r < 0.35) {
+        // A 1-ulp neighbor: same qkey, strictly greater double key. Must
+        // pop after `key` regardless of node id or push order.
+        push_both(std::nextafter(key, std::numeric_limits<double>::infinity()),
+                  static_cast<net::NodeId>(rng.uniform_index(64)));
+      }
+      if (r >= 0.35 && r < 0.45) {
+        // Exact key tie with a different node: pops in node order.
+        push_both(key, static_cast<net::NodeId>(rng.uniform_index(64)));
+      }
+    } else {
+      const auto [key, node] = reference.top();
+      reference.pop();
+      const sim::BucketQueue::Entry got = queue.pop();
+      ASSERT_EQ(got.key, key) << "op " << i;
+      ASSERT_EQ(got.node, node) << "op " << i;
+      popped.emplace_back(got.key, got.node);
+      last_pop = key;
+    }
+    ASSERT_EQ(queue.size(), reference.size()) << "op " << i;
+  }
+  while (!reference.empty()) {
+    const auto [key, node] = reference.top();
+    reference.pop();
+    const sim::BucketQueue::Entry got = queue.pop();
+    ASSERT_EQ(got.key, key);
+    ASSERT_EQ(got.node, node);
+    popped.emplace_back(got.key, got.node);
+  }
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(BucketQueueFixed, MatchesPriorityQueueOnRandomMonotoneWorkloads) {
+  util::Rng rng(21);
+  sim::BucketQueue queue;  // reused across plans: reset must fully rewind
+  std::vector<Item> popped;
+  // (min_delay, max_reach) pairs spanning fine and coarse grids; max_key
+  // mirrors the engines' slack bound (2x reach).
+  const std::pair<double, double> ranges[] = {
+      {0.5, 20000.0}, {6.0, 9000.0}, {0.03, 800.0}};
+  for (const auto& [min_delay, reach] : ranges) {
+    const auto plan =
+        sim::BucketQueue::plan_fixed(min_delay, reach, reach * 2.0);
+    ASSERT_TRUE(plan.has_value()) << "min_delay " << min_delay;
+    for (int round = 0; round < 6; ++round) {
+      run_mirrored_fixed(queue, rng, &*plan, plan->width(), 500,
+                         min_delay * 30.0, popped);
+      ASSERT_FALSE(popped.empty());
+    }
+  }
+}
+
+TEST(BucketQueueFixed, PopOrderIdenticalToDoubleModeOnSameWorkload) {
+  // The strongest parity statement at the queue level: replay one recorded
+  // workload through both modes and require the identical pop sequence.
+  util::Rng rng_a(22);
+  sim::BucketQueue queue;
+  const auto plan = sim::BucketQueue::plan_fixed(0.5, 20000.0, 40000.0);
+  ASSERT_TRUE(plan.has_value());
+  std::vector<Item> popped_fixed;
+  run_mirrored_fixed(queue, rng_a, &*plan, plan->width(), 800, 15.0,
+                     popped_fixed);
+  // Identical rng seed => identical workload; double mode at the plan's own
+  // bucket width must pop the same (key, node) sequence byte for byte.
+  util::Rng rng_b(22);
+  std::vector<Item> popped_double;
+  run_mirrored_fixed(queue, rng_b, nullptr, plan->width(), 800, 15.0,
+                     popped_double);
+  ASSERT_EQ(popped_fixed.size(), popped_double.size());
+  for (std::size_t i = 0; i < popped_fixed.size(); ++i) {
+    EXPECT_EQ(popped_fixed[i], popped_double[i]) << "pop " << i;
+  }
+}
+
+TEST(BucketQueueFixed, PlanRejectsDegenerateRanges) {
+  // min-δ = 0 quantizes to 0 -> no power-of-two bucket width exists -> the
+  // engine must fall back to the d-ary heap (batch.cpp's three-tier plan).
+  EXPECT_FALSE(sim::BucketQueue::plan_fixed(0.0, 100.0, 200.0).has_value());
+  EXPECT_FALSE(sim::BucketQueue::plan_fixed(-1.0, 100.0, 200.0).has_value());
+  EXPECT_FALSE(
+      sim::BucketQueue::plan_fixed(std::numeric_limits<double>::infinity(),
+                                   100.0, 200.0)
+          .has_value());
+  // A key span over ~2^31x the min delay cannot both hold max_key in the
+  // u32 image and resolve min_delay to the >= 2 grid units a power-of-two
+  // width needs.
+  EXPECT_FALSE(sim::BucketQueue::plan_fixed(1e-6, 5e6, 1e7).has_value());
+  // A huge reach/min-delay ratio alone is fine: the plan widens buckets to
+  // fit the ring budget (order still exact via the sorted active bucket).
+  EXPECT_TRUE(sim::BucketQueue::plan_fixed(1e-6, 1e3, 2e3).has_value());
+  // Ordinary simulation scales are in, and when no widening is needed the
+  // derived width brackets min_delay into [16*width, 32*width) — the
+  // occupancy sweet spot (kOccupancyDivisor) double mode's preferred
+  // width also targets, well under the delta-stepping ceiling, so thin
+  // buckets keep the active-bucket sort near-free.
+  const auto plan = sim::BucketQueue::plan_fixed(6.0, 2000.0, 4000.0);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_LE(plan->width() * 16.0, 6.0);
+  EXPECT_GT(plan->width() * 32.0, 6.0);
+}
+
+TEST(BucketQueueFixed, ResetSwitchesModesCleanly) {
+  sim::BucketQueue queue;
+  const auto plan = sim::BucketQueue::plan_fixed(1.0, 1000.0, 2000.0);
+  ASSERT_TRUE(plan.has_value());
+  queue.reset(*plan);
+  EXPECT_TRUE(queue.fixed_point());
+  for (int i = 0; i < 50; ++i) {
+    queue.push(static_cast<double>(i) * 1.3, static_cast<net::NodeId>(i));
+  }
+  EXPECT_EQ(queue.size(), 50u);
+  queue.reset(0.5);  // back to double-keyed oracle mode, pending work gone
+  EXPECT_FALSE(queue.fixed_point());
+  EXPECT_TRUE(queue.empty());
   queue.push(3.0, 7);
   const auto e = queue.pop();
   EXPECT_EQ(e.key, 3.0);
